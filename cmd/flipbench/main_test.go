@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildBench(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := filepath.Join(t.TempDir(), "flipbench")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestBenchList(t *testing.T) {
+	bin := buildBench(t)
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, want := range []string{"table1", "fig8a", "fig9b", "table4"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("-list missing %q", want)
+		}
+	}
+}
+
+func TestBenchTable1WithCSV(t *testing.T) {
+	bin := buildBench(t)
+	dir := t.TempDir()
+	out, err := exec.Command(bin, "-exp", "table1", "-csv", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Expectation verdict") {
+		t.Errorf("table1 output:\n%s", out)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "Pair,") {
+		t.Errorf("csv header: %q", string(csv)[:20])
+	}
+}
+
+func TestBenchErrors(t *testing.T) {
+	bin := buildBench(t)
+	if err := exec.Command(bin, "-exp", "fig99").Run(); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := exec.Command(bin, "-exp", "table1", "-scale", "galactic").Run(); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Error("missing -exp accepted")
+	}
+}

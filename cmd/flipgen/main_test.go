@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildGen(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := filepath.Join(t.TempDir(), "flipgen")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestGenToy(t *testing.T) {
+	bin := buildGen(t)
+	dir := t.TempDir()
+	out, err := exec.Command(bin, "-out", dir, "toy").CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, f := range []string{"taxonomy.tsv", "baskets.txt", "README.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+	readme, err := os.ReadFile(filepath.Join(dir, "README.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(readme), "{a11, b11}") {
+		t.Errorf("toy README missing planted pattern:\n%s", readme)
+	}
+}
+
+func TestGenSyntheticAndDataset(t *testing.T) {
+	bin := buildGen(t)
+	dir := t.TempDir()
+	out, err := exec.Command(bin, "-out", dir, "synthetic", "-n", "500", "-items", "100").CombinedOutput()
+	if err != nil {
+		t.Fatalf("synthetic: %v\n%s", err, out)
+	}
+	baskets, err := os.ReadFile(filepath.Join(dir, "baskets.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(baskets), "\n"); got != 500 {
+		t.Errorf("synthetic baskets = %d lines, want 500", got)
+	}
+
+	dir2 := t.TempDir()
+	out, err = exec.Command(bin, "-out", dir2, "dataset", "-name", "groceries", "-scale", "0.1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("dataset: %v\n%s", err, out)
+	}
+	readme, err := os.ReadFile(filepath.Join(dir2, "README.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(readme), "GROCERIES") {
+		t.Errorf("dataset README:\n%s", readme)
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	bin := buildGen(t)
+	cases := [][]string{
+		{},                    // no -out, no mode
+		{"-out", t.TempDir()}, // no mode
+		{"-out", t.TempDir(), "bogusmode"},
+		{"-out", t.TempDir(), "dataset", "-name", "imdb"},
+	}
+	for _, args := range cases {
+		if err := exec.Command(bin, args...).Run(); err == nil {
+			t.Errorf("args %v: expected failure", args)
+		}
+	}
+}

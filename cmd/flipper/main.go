@@ -1,0 +1,182 @@
+// Command flipper mines flipping correlation patterns from a basket file
+// and a taxonomy file.
+//
+// Usage:
+//
+//	flipper -tax taxonomy.tsv -db baskets.txt \
+//	        -gamma 0.3 -epsilon 0.1 -minsup 0.01,0.001,0.0005,0.0001 \
+//	        [-measure kulczynski] [-pruning full] [-strategy scan|tidlist|auto] \
+//	        [-topk 0] [-target-patterns 0] [-stream] [-stats] \
+//	        [-json] [-csv patterns.csv]
+//
+// The taxonomy file holds one "child<TAB>parent" edge per line; the basket
+// file one transaction per line with comma-separated item names. -minsup
+// takes one fraction per taxonomy level, most general first. -stream keeps
+// counting passes on disk instead of materializing per-level views.
+// -target-patterns auto-tunes ε (the paper's threshold workflow): the most
+// selective ε still yielding at least that many patterns is used. The
+// default output is one block per pattern with the full correlation chain;
+// -json emits name-resolved JSON and -csv writes one row per chain level.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	flipper "github.com/flipper-mining/flipper"
+)
+
+func main() {
+	var (
+		taxPath  = flag.String("tax", "", "taxonomy file (child<TAB>parent per line)")
+		dbPath   = flag.String("db", "", "basket file (comma-separated item names per line)")
+		gamma    = flag.Float64("gamma", 0.3, "positive correlation threshold γ")
+		epsilon  = flag.Float64("epsilon", 0.1, "negative correlation threshold ε")
+		minsup   = flag.String("minsup", "", "per-level minimum supports, e.g. 0.01,0.001,0.0005 (most general level first)")
+		meas     = flag.String("measure", "kulczynski", "correlation measure: kulczynski, cosine, all_confidence, coherence, max_confidence")
+		pruning  = flag.String("pruning", "full", "pruning level: basic, flipping, flipping+tpg, full")
+		strategy = flag.String("strategy", "scan", "support counting: scan or tidlist")
+		topK     = flag.Int("topk", 0, "keep only the K most flipping patterns (largest correlation gap)")
+		target   = flag.Int("target-patterns", 0, "auto-tune ε: search for the most selective ε yielding at least this many patterns")
+		maxK     = flag.Int("maxk", 0, "cap the itemset size (0 = data-bound)")
+		stream   = flag.Bool("stream", false, "disk-resident mode: re-read the basket file on every pass")
+		extend   = flag.Bool("extend", true, "leaf-copy extend unbalanced taxonomies (paper Fig. 3 variant B)")
+		stats    = flag.Bool("stats", false, "print run statistics to stderr")
+		asJSON   = flag.Bool("json", false, "emit patterns as JSON")
+		csvPath  = flag.String("csv", "", "also write patterns to a CSV file (one row per chain level)")
+	)
+	flag.Parse()
+	if *taxPath == "" || *dbPath == "" {
+		fmt.Fprintln(os.Stderr, "flipper: -tax and -db are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	tree, err := loadTaxonomy(*taxPath)
+	if err != nil {
+		fail(err)
+	}
+	if !tree.IsBalanced() && *extend {
+		tree = tree.Extend()
+	}
+
+	cfg := flipper.DefaultConfig(tree.Height())
+	cfg.Gamma = *gamma
+	cfg.Epsilon = *epsilon
+	cfg.TopK = *topK
+	cfg.MaxK = *maxK
+	if cfg.Measure, err = flipper.ParseMeasure(*meas); err != nil {
+		fail(err)
+	}
+	if cfg.Pruning, err = flipper.ParsePruningLevel(*pruning); err != nil {
+		fail(err)
+	}
+	if cfg.Strategy, err = flipper.ParseCountStrategy(*strategy); err != nil {
+		fail(err)
+	}
+	if *minsup != "" {
+		if cfg.MinSup, err = parseMinsup(*minsup); err != nil {
+			fail(err)
+		}
+	}
+	if len(cfg.MinSup) != tree.Height() {
+		fail(fmt.Errorf("-minsup needs %d comma-separated values for this taxonomy (got %d)",
+			tree.Height(), len(cfg.MinSup)))
+	}
+
+	var src flipper.Source
+	if *stream {
+		cfg.Materialize = false
+		if src, err = flipper.OpenBasketFile(*dbPath, tree.Dict()); err != nil {
+			fail(err)
+		}
+	} else {
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			fail(err)
+		}
+		db, err := flipper.ReadBaskets(f, tree.Dict())
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		src = db
+	}
+
+	var res *flipper.Result
+	if *target > 0 {
+		eps, r, found, err := flipper.SuggestEpsilon(src, tree, cfg, *target)
+		if err != nil {
+			fail(err)
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "flipper: even ε just below γ yields only %d pattern(s); reporting those\n", len(r.Patterns))
+		}
+		fmt.Fprintf(os.Stderr, "flipper: auto-tuned ε = %.4f\n", eps)
+		res = r
+	} else {
+		r, err := flipper.Mine(src, tree, cfg)
+		if err != nil {
+			fail(err)
+		}
+		res = r
+	}
+	if *asJSON {
+		if err := res.WriteJSON(os.Stdout, tree); err != nil {
+			fail(err)
+		}
+	} else {
+		fmt.Printf("%d flipping pattern(s)\n\n", len(res.Patterns))
+		for _, p := range res.Patterns {
+			fmt.Print(p.Format(tree))
+			fmt.Println()
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := res.WriteCSV(f, tree); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, res.Stats.String())
+	}
+}
+
+func loadTaxonomy(path string) (*flipper.Taxonomy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return flipper.ParseTaxonomy(f, nil)
+}
+
+func parseMinsup(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad minsup %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "flipper:", err)
+	os.Exit(1)
+}

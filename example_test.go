@@ -1,0 +1,82 @@
+package flipper_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	flipper "github.com/flipper-mining/flipper"
+)
+
+// Example mines the paper's Figure 4 worked example end to end and prints
+// the single flipping pattern of Figure 5.
+func Example() {
+	taxonomy := `a1	a
+a11	a1
+a12	a1
+a2	a
+a21	a2
+a22	a2
+b1	b
+b11	b1
+b12	b1
+b2	b
+b21	b2
+b22	b2
+`
+	baskets := `a11, a22, b11, b22
+a11, a21, b11
+a12, a21
+a12, a22, b21
+a12, a22, b21
+a12, a21, b22
+a21, b12
+b12, b21, b22
+b12, b21
+a22, b12, b22
+`
+	tree, err := flipper.ParseTaxonomy(strings.NewReader(taxonomy), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := flipper.ReadBaskets(strings.NewReader(baskets), tree.Dict())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := flipper.DefaultConfig(tree.Height())
+	cfg.Gamma, cfg.Epsilon = 0.6, 0.35
+	cfg.MinSup = nil
+	cfg.MinSupAbs = []int64{1, 1, 1}
+
+	res, err := flipper.Mine(db, tree, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		fmt.Printf("%s:", tree.FormatSet(p.Leaf))
+		for _, li := range p.Chain {
+			fmt.Printf(" L%d=%s", li.Level, li.Label)
+		}
+		fmt.Println()
+	}
+	// Output:
+	// {a11, b11}: L1=+ L2=- L3=+
+}
+
+// ExampleMine_topK shows the future-work top-K ranking: keep the K patterns
+// with the sharpest correlation flips instead of tuning ε by hand.
+func ExampleMine_topK() {
+	tree, _ := flipper.ParseTaxonomy(strings.NewReader("x1\tx\ny1\ty\n"), nil)
+	db := flipper.NewDB(tree.Dict())
+	for i := 0; i < 30; i++ {
+		db.AddNames("x1", "y1")
+	}
+	cfg := flipper.DefaultConfig(tree.Height())
+	cfg.MinSup = nil
+	cfg.MinSupAbs = []int64{1, 1}
+	cfg.TopK = 5
+	res, _ := flipper.Mine(db, tree, cfg)
+	fmt.Println(len(res.Patterns), "patterns") // a constant pair never flips
+	// Output:
+	// 0 patterns
+}

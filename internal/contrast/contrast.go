@@ -1,0 +1,211 @@
+// Package contrast implements the first extension sketched in the paper's
+// future-work section: "the flipping pattern concept can be extended for
+// discovering a set of discriminative correlations, that are specific for a
+// given sub-group."
+//
+// Where the Flipper engine contrasts correlations *across taxonomy levels*,
+// this package contrasts them *across populations*: a pair of items is a
+// discriminative correlation for a sub-group when its correlation label
+// inside the sub-group (the transactions containing a given context
+// itemset) is opposite to its label in the whole database. The same
+// null-invariant measures, thresholds and labeling rules apply, so findings
+// compose naturally with flipping patterns.
+package contrast
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/flipper-mining/flipper/internal/core"
+	"github.com/flipper-mining/flipper/internal/itemset"
+	"github.com/flipper-mining/flipper/internal/measure"
+	"github.com/flipper-mining/flipper/internal/taxonomy"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// Config parameterizes a discriminative-correlation search.
+type Config struct {
+	// Measure is the null-invariant correlation measure (default
+	// Kulczynski when zero-valued, matching the paper).
+	Measure measure.Measure
+	// Gamma and Epsilon are the positive / negative thresholds, as in the
+	// flipping-pattern definition.
+	Gamma   float64
+	Epsilon float64
+	// MinSup is the absolute minimum pair support required in each
+	// population (sub-group and whole database).
+	MinSup int64
+	// Level is the taxonomy level at which items are compared; 0 means the
+	// leaf level.
+	Level int
+	// RequireOpposite keeps only strict label flips (positive↔negative).
+	// When false, a labeled-vs-unlabeled contrast is also reported.
+	RequireOpposite bool
+}
+
+// Finding is one discriminative correlation.
+type Finding struct {
+	// Items is the correlated pair, at Config.Level.
+	Items itemset.Set
+	// Global* describe the pair in the whole database.
+	GlobalSup   int64
+	GlobalCorr  float64
+	GlobalLabel core.Label
+	// Group* describe the pair within the sub-group.
+	GroupSup   int64
+	GroupCorr  float64
+	GroupLabel core.Label
+	// Gap is |GroupCorr − GlobalCorr|; findings are ordered by descending
+	// Gap, mirroring the "most flipping" ranking.
+	Gap float64
+}
+
+// Format renders the finding with names resolved through the taxonomy.
+func (f Finding) Format(tree *taxonomy.Tree) string {
+	return fmt.Sprintf("%s  global %s corr=%.4f sup=%d | subgroup %s corr=%.4f sup=%d (gap %.3f)",
+		tree.FormatSet(f.Items),
+		f.GlobalLabel, f.GlobalCorr, f.GlobalSup,
+		f.GroupLabel, f.GroupCorr, f.GroupSup, f.Gap)
+}
+
+// Discriminative finds all pairs at cfg.Level whose correlation label
+// within the sub-group (transactions containing every item of the context
+// itemset, given as leaf items) contrasts with their label in the whole
+// database. Context items and their generalizations are excluded from the
+// reported pairs.
+func Discriminative(src txdb.Source, tree *taxonomy.Tree, context itemset.Set, cfg Config) ([]Finding, error) {
+	if len(context) == 0 {
+		return nil, fmt.Errorf("contrast: empty context itemset")
+	}
+	if !(cfg.Gamma > 0 && cfg.Gamma <= 1) {
+		return nil, fmt.Errorf("contrast: gamma %v out of (0, 1]", cfg.Gamma)
+	}
+	if cfg.Epsilon < 0 || cfg.Epsilon >= cfg.Gamma {
+		return nil, fmt.Errorf("contrast: epsilon %v must be in [0, gamma)", cfg.Epsilon)
+	}
+	if cfg.MinSup < 1 {
+		return nil, fmt.Errorf("contrast: MinSup %d must be ≥ 1", cfg.MinSup)
+	}
+	level := cfg.Level
+	if level == 0 {
+		level = tree.Height()
+	}
+	if level < 1 || level > tree.Height() {
+		return nil, fmt.Errorf("contrast: level %d out of range 1..%d", cfg.Level, tree.Height())
+	}
+	for _, id := range context {
+		if !tree.Contains(id) {
+			return nil, fmt.Errorf("contrast: context item %d not in taxonomy", id)
+		}
+	}
+	// The context's own generalizations at the comparison level are trivially
+	// correlated with the sub-group; exclude them from findings.
+	excluded := make(map[itemset.ID]bool)
+	for _, id := range context {
+		if a, ok := tree.AncestorAt(id, level); ok {
+			excluded[a] = true
+		}
+	}
+
+	type pop struct {
+		n      int64
+		single map[itemset.ID]int64
+		pair   map[string]int64
+	}
+	global := &pop{single: map[itemset.ID]int64{}, pair: map[string]int64{}}
+	group := &pop{single: map[itemset.ID]int64{}, pair: map[string]int64{}}
+
+	buf := make([]itemset.ID, 0, 32)
+	keyBuf := make([]byte, 0, 8)
+	err := src.Scan(func(tx itemset.Set) error {
+		inGroup := context.SubsetOf(tx)
+		buf = buf[:0]
+		for _, id := range tx {
+			if a, ok := tree.AncestorAt(id, level); ok && !excluded[a] {
+				buf = append(buf, a)
+			}
+		}
+		g := itemset.New(buf...)
+		pops := []*pop{global}
+		if inGroup {
+			pops = append(pops, group)
+		}
+		for _, p := range pops {
+			p.n++
+			for _, id := range g {
+				p.single[id]++
+			}
+		}
+		for i := 0; i < len(g); i++ {
+			for j := i + 1; j < len(g); j++ {
+				keyBuf = itemset.AppendKey(keyBuf[:0], itemset.Set{g[i], g[j]})
+				global.pair[string(keyBuf)]++
+				if inGroup {
+					group.pair[string(keyBuf)]++
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if group.n == 0 {
+		return nil, fmt.Errorf("contrast: no transaction contains the context itemset")
+	}
+
+	label := func(corr float64) core.Label {
+		switch {
+		case corr >= cfg.Gamma:
+			return core.LabelPositive
+		case corr <= cfg.Epsilon:
+			return core.LabelNegative
+		default:
+			return core.LabelNone
+		}
+	}
+
+	var out []Finding
+	for key, gsup := range group.pair {
+		if gsup < cfg.MinSup {
+			continue
+		}
+		allSup := global.pair[key]
+		if allSup < cfg.MinSup {
+			continue
+		}
+		pair, err := itemset.ParseKey(key)
+		if err != nil {
+			return nil, err
+		}
+		a, b := pair[0], pair[1]
+		groupCorr := cfg.Measure.Corr(gsup, []int64{group.single[a], group.single[b]})
+		globalCorr := cfg.Measure.Corr(allSup, []int64{global.single[a], global.single[b]})
+		gl, al := label(groupCorr), label(globalCorr)
+		discriminative := gl.Flips(al)
+		if !cfg.RequireOpposite && !discriminative {
+			// Relaxed mode: one side labeled, the other not.
+			discriminative = gl != al && (gl.Labeled() || al.Labeled())
+		}
+		if !discriminative {
+			continue
+		}
+		gap := groupCorr - globalCorr
+		if gap < 0 {
+			gap = -gap
+		}
+		out = append(out, Finding{
+			Items:     pair,
+			GlobalSup: allSup, GlobalCorr: globalCorr, GlobalLabel: al,
+			GroupSup: gsup, GroupCorr: groupCorr, GroupLabel: gl,
+			Gap: gap,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Gap != out[j].Gap {
+			return out[i].Gap > out[j].Gap
+		}
+		return out[i].Items.Key() < out[j].Items.Key()
+	})
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"github.com/flipper-mining/flipper/internal/itemset"
+)
+
+// The BASIC baseline: a complete per-level Apriori with support-only
+// pruning, representing the prior-art pipeline the paper compares against —
+// "computing all frequent patterns before ranking the correlations". Every
+// cell of the search table is fully populated (subject only to support and
+// the distinct-level-1-roots requirement that defines the problem), every
+// frequent itemset is retained in memory until the end, and flipping chains
+// are assembled in a post-processing pass.
+
+func (m *miner) mineBasic() []Pattern {
+	for h := 1; h <= m.height; h++ {
+		kMax := m.widths[h]
+		if f := len(m.freq1[h]); f < kMax {
+			kMax = f
+		}
+		if m.cfg.MaxK > 0 && m.cfg.MaxK < kMax {
+			kMax = m.cfg.MaxK
+		}
+		for k := 2; k <= kMax; k++ {
+			c := m.basicCell(h, k)
+			m.finishBasicCell(c)
+			m.rows[h][k] = c
+			if c.frequent < k+1 {
+				// Fewer frequent k-itemsets than needed to join a single
+				// (k+1)-candidate's subsets; the row is done.
+				break
+			}
+		}
+	}
+	return m.collectBasic()
+}
+
+// basicCell generates all Apriori candidates of Q(h,k) from the complete
+// cell Q(h,k-1): joins of prefix-sharing frequent itemsets whose items
+// descend from pairwise distinct level-1 roots, with the full subset check.
+func (m *miner) basicCell(h, k int) *cell {
+	c := newCell(h, k)
+	if k == 2 {
+		items := m.frequentItems(h)
+		for i := 0; i < len(items); i++ {
+			ri := m.tax.RootOf(items[i])
+			for j := i + 1; j < len(items); j++ {
+				if ri == m.tax.RootOf(items[j]) {
+					continue
+				}
+				m.addCandidate(c, itemset.Set{items[i], items[j]}, nil)
+			}
+		}
+		return c
+	}
+	prev := m.rows[h][k-1]
+	if prev == nil || prev.frequent < k {
+		return c
+	}
+	keys := sortedKeys(prev.entries)
+	sets := make([]itemset.Set, len(keys))
+	for i, key := range keys {
+		sets[i] = prev.entries[key].items
+	}
+	scratch := make(itemset.Set, k-1)
+	for i := 0; i < len(sets); i++ {
+		for j := i + 1; j < len(sets); j++ {
+			joined, ok := itemset.Join(sets[i], sets[j])
+			if !ok {
+				break // sorted order: prefixes diverged for good
+			}
+			// The two tails must come from distinct roots; every other pair
+			// was validated when the operands were generated.
+			a, b := sets[i][k-2], sets[j][k-2]
+			if m.tax.RootOf(a) == m.tax.RootOf(b) {
+				continue
+			}
+			if !m.allSubsetsFrequent(prev, joined, scratch) {
+				m.stats.SubsetPruned++
+				continue
+			}
+			m.addCandidate(c, joined, nil)
+		}
+	}
+	return c
+}
+
+// finishBasicCell counts and labels a BASIC cell. Unlike finishCell it keeps
+// no chain pointers (chains are assembled afterwards) and — crucially for
+// the memory comparison — never frees anything.
+func (m *miner) finishBasicCell(c *cell) {
+	if c.candidates > 0 {
+		m.count(c)
+	}
+	thr := m.minSup[c.h]
+	for key, e := range c.entries {
+		if e.sup < thr {
+			delete(c.entries, key)
+			c.infreq[key] = struct{}{}
+			// BASIC keeps all candidates resident until the run ends, so no
+			// dropResident here: the paper's baseline stored every counted
+			// candidate (40 GB on its server) until post-processing.
+			continue
+		}
+		c.frequent++
+		m.stats.FrequentItemsets++
+		sups := make([]int64, len(e.items))
+		for i, id := range e.items {
+			sups[i] = m.sup1[c.h][id]
+		}
+		e.corr = m.cfg.Measure.Corr(e.sup, sups)
+		switch {
+		case e.corr >= m.cfg.Gamma:
+			e.label = LabelPositive
+			c.positive++
+			m.stats.PositiveItemsets++
+		case e.corr <= m.cfg.Epsilon:
+			e.label = LabelNegative
+			c.negative++
+			m.stats.NegativeItemsets++
+		}
+	}
+	if m.cfg.KeepCellStats {
+		m.stats.Cells = append(m.stats.Cells, CellStat{
+			H: c.h, K: c.k, Candidates: c.candidates,
+			Frequent: c.frequent, Positive: c.positive, Negative: c.negative,
+		})
+	}
+}
+
+// collectBasic post-processes the fully populated table: a leaf itemset is a
+// flipping pattern when its generalization at every level is frequent,
+// labeled, and alternates signs.
+func (m *miner) collectBasic() []Pattern {
+	var out []Pattern
+	for k, leafCell := range m.rows[m.height] {
+		for _, e := range leafCell.entries {
+			chain := make([]LevelInfo, m.height)
+			chain[m.height-1] = LevelInfo{
+				Level: m.height, Items: e.items, Support: e.sup, Corr: e.corr, Label: e.label,
+			}
+			if !e.label.Labeled() {
+				continue
+			}
+			ok := true
+			for h := m.height - 1; h >= 1; h-- {
+				items, gok := m.tax.GeneralizeSet(e.items, h)
+				if !gok || len(items) != k {
+					ok = false
+					break
+				}
+				row := m.rows[h][k]
+				if row == nil {
+					ok = false
+					break
+				}
+				pe, found := row.entries[items.Key()]
+				if !found || !pe.label.Labeled() || !chain[h].Label.Flips(pe.label) {
+					ok = false
+					break
+				}
+				chain[h-1] = LevelInfo{
+					Level: h, Items: pe.items, Support: pe.sup, Corr: pe.corr, Label: pe.label,
+				}
+			}
+			if !ok {
+				continue
+			}
+			p := Pattern{Leaf: e.items, Chain: chain}
+			p.computeGap()
+			m.stats.AliveItemsets++
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/flipper-mining/flipper/internal/itemset"
+)
+
+// row1Cell generates the candidates of Q(1,k) by complete level-wise Apriori
+// over the frequent level-1 items. Row 1 has no parent row, so cells here
+// contain every frequent k-itemset at level 1 — which is what makes the
+// zigzag's TPG check meaningful and keeps the miner complete.
+func (m *miner) row1Cell(k int) *cell {
+	c := newCell(1, k)
+	if k == 2 {
+		items := m.frequentItems(1)
+		for i := 0; i < len(items); i++ {
+			for j := i + 1; j < len(items); j++ {
+				m.addCandidate(c, itemset.Set{items[i], items[j]}, nil)
+			}
+		}
+		return c
+	}
+	prev := m.rows[1][k-1]
+	if prev == nil || prev.frequent < k {
+		return c
+	}
+	// Apriori join: pairs of frequent (k-1)-itemsets sharing a (k-2)-prefix.
+	keys := sortedKeys(prev.entries)
+	sets := make([]itemset.Set, len(keys))
+	for i, key := range keys {
+		sets[i] = prev.entries[key].items
+	}
+	scratch := make(itemset.Set, k-1)
+	for i := 0; i < len(sets); i++ {
+		for j := i + 1; j < len(sets); j++ {
+			joined, ok := itemset.Join(sets[i], sets[j])
+			if !ok {
+				// Keys sort like itemsets, so once the prefix diverges no
+				// later j can join with i.
+				break
+			}
+			// Row-1 cells are complete: every (k-1)-subset must be present
+			// and frequent.
+			if !m.allSubsetsFrequent(prev, joined, scratch) {
+				m.stats.SubsetPruned++
+				continue
+			}
+			m.addCandidate(c, joined, nil)
+		}
+	}
+	return c
+}
+
+// allSubsetsFrequent checks the standard Apriori condition against a
+// complete cell. The first two subsets are the join operands; skip them.
+func (m *miner) allSubsetsFrequent(prev *cell, joined itemset.Set, scratch itemset.Set) bool {
+	k := len(joined)
+	for drop := 0; drop < k-2; drop++ {
+		copy(scratch, joined[:drop])
+		copy(scratch[drop:], joined[drop+1:])
+		if _, ok := prev.entries[scratch.Key()]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// childCell generates the candidates of Q(h,k), h ≥ 2: the child-item
+// combinations of every chain-alive parent itemset in Q(h-1,k), filtered by
+// single-item frequency at level h, SIBP exclusions, and known-infrequent
+// (k-1)-subsets counted in Q(h,k-1).
+//
+// Every generalization of a flipping pattern has a chain-alive parent, so
+// this expansion is complete for the flipping-pattern search even though the
+// cells it produces are subsets of all frequent itemsets (see DESIGN.md).
+func (m *miner) childCell(h, k int) *cell {
+	c := newCell(h, k)
+	parentCell := m.rows[h-1][k]
+	if parentCell == nil || parentCell.alive == 0 {
+		return c
+	}
+	left := m.rows[h][k-1] // counted (h,k-1) itemsets; nil when k == 2
+	freq := m.freq1[h]
+	excl := m.excluded[h]
+
+	lists := make([][]itemset.ID, k)
+	idx := make([]int, k)
+	combo := make([]itemset.ID, k)
+	scratch := make(itemset.Set, k-1)
+	for _, key := range sortedKeys(parentCell.entries) {
+		p := parentCell.entries[key]
+		if !p.alive {
+			continue
+		}
+		ok := true
+		for i, pid := range p.items {
+			lists[i] = lists[i][:0]
+			for _, ch := range m.tax.ChildrenAt(pid) {
+				if _, f := freq[ch]; !f {
+					continue
+				}
+				if excl[ch] {
+					continue
+				}
+				lists[i] = append(lists[i], ch)
+			}
+			if len(lists[i]) == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Cartesian product of the child lists. Children of distinct
+		// parents are distinct nodes, so each combination is a k-itemset.
+		for i := range idx {
+			idx[i] = 0
+		}
+		for {
+			for i := range combo {
+				combo[i] = lists[i][idx[i]]
+			}
+			cand := itemset.New(combo...)
+			if left != nil && m.hasInfrequentSubset(left, cand, scratch) {
+				m.stats.SubsetPruned++
+			} else {
+				m.addCandidate(c, cand, p)
+			}
+			// Advance the mixed-radix counter.
+			i := k - 1
+			for i >= 0 {
+				idx[i]++
+				if idx[i] < len(lists[i]) {
+					break
+				}
+				idx[i] = 0
+				i--
+			}
+			if i < 0 {
+				break
+			}
+		}
+	}
+	return c
+}
+
+// hasInfrequentSubset reports whether any (k-1)-subset of cand was counted
+// in the left cell and found infrequent. Subsets that were never generated
+// there (possible under vertical gating) prove nothing and are ignored.
+func (m *miner) hasInfrequentSubset(left *cell, cand itemset.Set, scratch itemset.Set) bool {
+	k := len(cand)
+	for drop := 0; drop < k; drop++ {
+		copy(scratch, cand[:drop])
+		copy(scratch[drop:], cand[drop+1:])
+		if _, bad := left.infreq[scratch.Key()]; bad {
+			return true
+		}
+	}
+	return false
+}
+
+// addCandidate registers a candidate itemset for counting.
+func (m *miner) addCandidate(c *cell, items itemset.Set, parent *entry) {
+	c.entries[items.Key()] = &entry{items: items, parent: parent}
+	c.candidates++
+	m.stats.CandidatesCounted++
+	m.stats.addResident(1, c.k)
+}
+
+// frequentItems returns the frequent 1-items of a level in ascending ID
+// order, minus SIBP-excluded ones.
+func (m *miner) frequentItems(h int) []itemset.ID {
+	excl := m.excluded[h]
+	out := make([]itemset.ID, 0, len(m.freq1[h]))
+	for id := range m.freq1[h] {
+		if !excl[id] {
+			out = append(out, id)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []itemset.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// sortedKeys returns the map keys in ascending order. Itemset keys sort the
+// same way the itemsets do, which the Apriori join exploits, and sorted
+// iteration keeps candidate generation fully deterministic.
+func sortedKeys(entries map[string]*entry) []string {
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/flipper-mining/flipper/internal/itemset"
+)
+
+// count fills in the support of every candidate in the cell with one pass
+// over the data (or one set of tid-list intersections).
+func (m *miner) count(c *cell) {
+	m.stats.DBScans++
+	strategy := m.cfg.Strategy
+	if strategy == CountAuto {
+		strategy = m.chooseStrategy(c)
+	}
+	if strategy == CountTIDList {
+		m.countTID(c)
+		return
+	}
+	if m.cfg.Materialize {
+		m.countScanMaterialized(c)
+	} else {
+		m.countScanStreaming(c)
+	}
+}
+
+// chooseStrategy is the CountAuto cost model. Scan cost: every distinct
+// transaction enumerates C(w, k) subsets (hash probes). Tid-list cost: every
+// candidate intersects k sorted lists whose combined length averages
+// k·(level volume / level item count).
+func (m *miner) chooseStrategy(c *cell) CountStrategy {
+	view := m.views[c.h]
+	items := len(view.Support)
+	if items == 0 {
+		return CountScan
+	}
+	var volume int64
+	for _, sup := range view.Support {
+		volume += sup
+	}
+	avgWidth := float64(volume) / float64(len(view.Tx))
+	scanCost := float64(len(m.distinct[c.h])) * float64(itemset.Binomial(int(avgWidth+1), c.k))
+	tidCost := float64(c.candidates) * float64(c.k) * float64(volume) / float64(items)
+	if tidCost < scanCost {
+		return CountTIDList
+	}
+	return CountScan
+}
+
+// candidateIndex freezes a cell's candidates into a slice with a key→index
+// map, so workers can accumulate into plain int64 slices.
+type candidateIndex struct {
+	ents     []*entry
+	index    map[string]int
+	universe map[itemset.ID]struct{}
+}
+
+func buildIndex(c *cell) *candidateIndex {
+	ci := &candidateIndex{
+		ents:     make([]*entry, 0, len(c.entries)),
+		index:    make(map[string]int, len(c.entries)),
+		universe: make(map[itemset.ID]struct{}),
+	}
+	for key, e := range c.entries {
+		ci.index[key] = len(ci.ents)
+		ci.ents = append(ci.ents, e)
+		for _, id := range e.items {
+			ci.universe[id] = struct{}{}
+		}
+	}
+	return ci
+}
+
+// probeTx enumerates the k-subsets of a transaction's candidate-relevant
+// items and adds w to each matching candidate's local counter.
+func (ci *candidateIndex) probeTx(tx itemset.Set, k int, w int64, counts []int64, filtered itemset.Set, keyBuf []byte) itemset.Set {
+	filtered = filtered[:0]
+	for _, id := range tx {
+		if _, ok := ci.universe[id]; ok {
+			filtered = append(filtered, id)
+		}
+	}
+	if len(filtered) < k {
+		return filtered
+	}
+	itemset.KSubsets(filtered, k, func(sub itemset.Set) {
+		key := itemset.AppendKey(keyBuf[:0], sub)
+		if i, ok := ci.index[string(key)]; ok {
+			counts[i] += w
+		}
+	})
+	return filtered
+}
+
+// countScanMaterialized counts over the deduplicated level view, fanning the
+// weighted transactions out to cfg.workers() goroutines.
+func (m *miner) countScanMaterialized(c *cell) {
+	ci := buildIndex(c)
+	data := m.distinct[c.h]
+	workers := m.cfg.workers()
+	if workers > len(data) {
+		workers = len(data)
+	}
+	if workers <= 1 {
+		counts := make([]int64, len(ci.ents))
+		var filtered itemset.Set
+		keyBuf := make([]byte, 0, 4*c.k)
+		for _, wt := range data {
+			filtered = ci.probeTx(wt.Items, c.k, wt.Weight, counts, filtered, keyBuf)
+		}
+		for i, e := range ci.ents {
+			e.sup = counts[i]
+		}
+		return
+	}
+	chunk := (len(data) + workers - 1) / workers
+	results := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			counts := make([]int64, len(ci.ents))
+			var filtered itemset.Set
+			keyBuf := make([]byte, 0, 4*c.k)
+			for _, wt := range data[lo:hi] {
+				filtered = ci.probeTx(wt.Items, c.k, wt.Weight, counts, filtered, keyBuf)
+			}
+			results[w] = counts
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for i, e := range ci.ents {
+		var sup int64
+		for _, counts := range results {
+			if counts != nil {
+				sup += counts[i]
+			}
+		}
+		e.sup = sup
+	}
+}
+
+// countScanStreaming is the disk-resident mode: one sequential pass over the
+// raw source with on-the-fly generalization to the cell's level.
+func (m *miner) countScanStreaming(c *cell) {
+	ci := buildIndex(c)
+	counts := make([]int64, len(ci.ents))
+	var filtered itemset.Set
+	keyBuf := make([]byte, 0, 4*c.k)
+	buf := make([]itemset.ID, 0, 32)
+	_ = m.src.Scan(func(tx itemset.Set) error {
+		buf = buf[:0]
+		for _, id := range tx {
+			if a, ok := m.tax.AncestorAt(id, c.h); ok {
+				buf = append(buf, a)
+			}
+		}
+		g := itemset.New(buf...)
+		filtered = ci.probeTx(g, c.k, 1, counts, filtered, keyBuf)
+		return nil
+	})
+	for i, e := range ci.ents {
+		e.sup = counts[i]
+	}
+}
+
+// countTID counts by intersecting per-item transaction-ID lists, building
+// the level's lists on first use.
+func (m *miner) countTID(c *cell) {
+	lists := m.tidLists(c.h)
+	ci := buildIndex(c)
+	workers := m.cfg.workers()
+	if workers > len(ci.ents) {
+		workers = len(ci.ents)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(ci.ents) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ci.ents) {
+			hi = len(ci.ents)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var bufs [2][]int32
+			for _, e := range ci.ents[lo:hi] {
+				e.sup = intersectSupport(e.items, lists, &bufs)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// tidLists lazily builds the per-item transaction-ID lists of a level.
+func (m *miner) tidLists(h int) map[itemset.ID][]int32 {
+	if m.tid[h] != nil {
+		return m.tid[h]
+	}
+	lists := make(map[itemset.ID][]int32)
+	for ti, tx := range m.views[h].Tx {
+		for _, id := range tx {
+			lists[id] = append(lists[id], int32(ti))
+		}
+	}
+	m.tid[h] = lists
+	return lists
+}
+
+// intersectSupport returns the size of the k-way intersection of the items'
+// tid lists, intersecting smallest-first for early exit. The two scratch
+// buffers alternate as intersection targets so the map-owned lists are never
+// written to.
+func intersectSupport(items itemset.Set, lists map[itemset.ID][]int32, bufs *[2][]int32) int64 {
+	ordered := make([][]int32, 0, len(items))
+	for _, id := range items {
+		l := lists[id]
+		if len(l) == 0 {
+			return 0
+		}
+		ordered = append(ordered, l)
+	}
+	// Selection sort by length; k is tiny.
+	for i := range ordered {
+		min := i
+		for j := i + 1; j < len(ordered); j++ {
+			if len(ordered[j]) < len(ordered[min]) {
+				min = j
+			}
+		}
+		ordered[i], ordered[min] = ordered[min], ordered[i]
+	}
+	cur := ordered[0] // borrowed from the map; read-only
+	for step, next := range ordered[1:] {
+		dst := bufs[step%2][:0]
+		i, j := 0, 0
+		for i < len(cur) && j < len(next) {
+			switch {
+			case cur[i] < next[j]:
+				i++
+			case cur[i] > next[j]:
+				j++
+			default:
+				dst = append(dst, cur[i])
+				i++
+				j++
+			}
+		}
+		bufs[step%2] = dst
+		cur = dst
+		if len(cur) == 0 {
+			return 0
+		}
+	}
+	return int64(len(cur))
+}

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/flipper-mining/flipper/internal/itemset"
+	"github.com/flipper-mining/flipper/internal/taxonomy"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// Result carries the patterns and counters of one mining run.
+type Result struct {
+	// Patterns holds every flipping pattern, deterministically ordered (by
+	// size then leaf items), or the top-K by gap when Config.TopK is set.
+	Patterns []Pattern
+	// Stats aggregates cost counters (scans, candidates, memory peaks).
+	Stats Stats
+}
+
+// entry is one counted itemset in a cell of the search-space table.
+type entry struct {
+	items  itemset.Set
+	sup    int64
+	corr   float64
+	label  Label
+	alive  bool
+	parent *entry // generalization at the previous level; nil in row 1
+}
+
+// cell is one Q(h,k) of the table M: the counted k-itemsets at level h.
+type cell struct {
+	h, k       int
+	entries    map[string]*entry   // frequent counted itemsets, by Key
+	infreq     map[string]struct{} // counted but infrequent itemset keys
+	candidates int
+	frequent   int
+	positive   int
+	negative   int
+	alive      int
+}
+
+func newCell(h, k int) *cell {
+	return &cell{h: h, k: k, entries: make(map[string]*entry), infreq: make(map[string]struct{})}
+}
+
+// miner holds the state of one run.
+type miner struct {
+	cfg    Config
+	tax    *taxonomy.Tree
+	src    txdb.Source
+	height int
+	n      int
+	minSup []int64 // absolute, indexed by level (0 unused)
+
+	views    []*txdb.LevelView // indexed by level; nil when streaming
+	distinct [][]txdb.WeightedTx
+	sup1     []map[itemset.ID]int64 // all single supports per level
+	freq1    []map[itemset.ID]int64 // frequent single supports per level
+	widths   []int                  // max generalized width per level
+	sorted   [][]itemset.ID         // frequent items per level, ascending support (SIBP)
+	tid      []map[itemset.ID][]int32
+
+	rows     []map[int]*cell       // rows[h][k]
+	excluded []map[itemset.ID]bool // SIBP-excluded items per level
+	rset     []map[itemset.ID]bool // R_h of the most recent column per level
+	rsetCol  []int                 // column the R set belongs to
+
+	stats Stats
+	maxK  int
+}
+
+// Mine runs the Flipper algorithm (or the BASIC baseline, depending on
+// cfg.Pruning) over src with the given taxonomy.
+//
+// The taxonomy must offer a generalization at every level for every leaf:
+// either it is balanced, or it was extended with taxonomy.Tree.Extend
+// (the paper's Figure 3 variant B) or truncated to uniform levels.
+func Mine(src txdb.Source, tree *taxonomy.Tree, cfg Config) (*Result, error) {
+	start := time.Now()
+	if tree == nil {
+		return nil, fmt.Errorf("core: nil taxonomy")
+	}
+	if !tree.IsBalanced() && !tree.Extended() {
+		return nil, fmt.Errorf("core: taxonomy is unbalanced; call Extend (variant B) or Truncate (variant A) first")
+	}
+	minSup, err := cfg.validate(tree.Height(), src.Len())
+	if err != nil {
+		return nil, err
+	}
+	m := &miner{
+		cfg:    cfg,
+		tax:    tree,
+		src:    src,
+		height: tree.Height(),
+		n:      src.Len(),
+		minSup: minSup,
+	}
+	if err := m.init(); err != nil {
+		return nil, err
+	}
+
+	var patterns []Pattern
+	if cfg.Pruning == Basic {
+		patterns = m.mineBasic()
+	} else {
+		patterns = m.mineFlipper()
+	}
+	if cfg.TopK > 0 {
+		sortPatternsByGap(patterns)
+		if len(patterns) > cfg.TopK {
+			patterns = patterns[:cfg.TopK]
+		}
+	} else {
+		sortPatterns(patterns)
+	}
+	m.stats.Elapsed = time.Since(start)
+	return &Result{Patterns: patterns, Stats: m.stats}, nil
+}
+
+// init materializes level views (or streams one counting pass), resolves
+// single-item supports, frequent item lists and the column bound K.
+func (m *miner) init() error {
+	H := m.height
+	m.views = make([]*txdb.LevelView, H+1)
+	m.distinct = make([][]txdb.WeightedTx, H+1)
+	m.sup1 = make([]map[itemset.ID]int64, H+1)
+	m.freq1 = make([]map[itemset.ID]int64, H+1)
+	m.widths = make([]int, H+1)
+	m.sorted = make([][]itemset.ID, H+1)
+	m.tid = make([]map[itemset.ID][]int32, H+1)
+	m.rows = make([]map[int]*cell, H+1)
+	m.excluded = make([]map[itemset.ID]bool, H+1)
+	m.rset = make([]map[itemset.ID]bool, H+1)
+	m.rsetCol = make([]int, H+1)
+	for h := 1; h <= H; h++ {
+		m.rows[h] = make(map[int]*cell)
+		m.excluded[h] = make(map[itemset.ID]bool)
+	}
+
+	if m.cfg.Materialize {
+		for h := 1; h <= H; h++ {
+			lv, err := txdb.Materialize(m.src, m.tax, h)
+			if err != nil {
+				return err
+			}
+			m.stats.DBScans++
+			m.views[h] = lv
+			m.distinct[h] = lv.Dedup()
+			m.sup1[h] = lv.Support
+			m.widths[h] = lv.MaxWidth
+		}
+	} else {
+		// One streaming pass computing all levels' single supports.
+		for h := 1; h <= H; h++ {
+			m.sup1[h] = make(map[itemset.ID]int64)
+		}
+		buf := make([]itemset.ID, 0, 32)
+		err := m.src.Scan(func(tx itemset.Set) error {
+			for h := 1; h <= H; h++ {
+				buf = buf[:0]
+				for _, id := range tx {
+					if a, ok := m.tax.AncestorAt(id, h); ok {
+						buf = append(buf, a)
+					}
+				}
+				g := itemset.New(buf...)
+				if len(g) > m.widths[h] {
+					m.widths[h] = len(g)
+				}
+				for _, id := range g {
+					m.sup1[h][id]++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		m.stats.DBScans++
+	}
+
+	for h := 1; h <= H; h++ {
+		freq := make(map[itemset.ID]int64)
+		for id, sup := range m.sup1[h] {
+			if sup >= m.minSup[h] {
+				freq[id] = sup
+			}
+		}
+		m.freq1[h] = freq
+		items := make([]itemset.ID, 0, len(freq))
+		for id := range freq {
+			items = append(items, id)
+		}
+		sort.Slice(items, func(i, j int) bool {
+			si, sj := freq[items[i]], freq[items[j]]
+			if si != sj {
+				return si < sj
+			}
+			return items[i] < items[j]
+		})
+		m.sorted[h] = items
+	}
+
+	// Column bound K: itemsets wider than any transaction at a level cannot
+	// be frequent there; flipping chains need every level, so the minimum
+	// width over the levels bounds the whole table. The level-1 fanout and
+	// MaxK bound it further.
+	K := m.widths[1]
+	for h := 2; h <= H; h++ {
+		if m.widths[h] < K {
+			K = m.widths[h]
+		}
+	}
+	if f := len(m.freq1[1]); f < K {
+		K = f
+	}
+	if m.cfg.MaxK > 0 && m.cfg.MaxK < K {
+		K = m.cfg.MaxK
+	}
+	m.maxK = K
+
+	m.stats.Transactions = m.n
+	m.stats.Height = H
+	m.stats.MaxK = K
+	return nil
+}
+
+// mineFlipper is Algorithm 1: zigzag over rows 1–2, then row-wise descent,
+// with flipping gating and (by pruning level) TPG and SIBP.
+func (m *miner) mineFlipper() []Pattern {
+	H := m.height
+	// Rows 1 and 2, zigzag: Q(1,k) then Q(2,k) for growing k.
+	for k := 2; k <= m.maxK; k++ {
+		c1 := m.row1Cell(k)
+		m.finishCell(c1)
+		m.rows[1][k] = c1
+		c2 := m.childCell(2, k)
+		m.finishCell(c2)
+		m.rows[2][k] = c2
+		if m.cfg.Pruning.usesSIBP() {
+			m.sibpUpdate(1, k, c1)
+			m.sibpUpdate(2, k, c2)
+			m.sibpExclude(2, k)
+		}
+		if c1.candidates == 0 {
+			break // row 1 exhausted; nothing can grow to the right
+		}
+		if m.tpg(c1, c2) {
+			break
+		}
+	}
+	// Rows 3..H, one row at a time.
+	for h := 3; h <= H; h++ {
+		for k := 2; k <= m.maxK; k++ {
+			parent := m.rows[h-1][k]
+			if parent == nil {
+				break // the row above stopped before this column
+			}
+			c := m.childCell(h, k)
+			m.finishCell(c)
+			m.rows[h][k] = c
+			if m.cfg.Pruning.usesSIBP() {
+				m.sibpUpdate(h, k, c)
+				m.sibpExclude(h, k)
+			}
+			if m.tpg(parent, c) {
+				break
+			}
+		}
+		// "Eliminate non-flipping patterns in rows h-1 and h": everything
+		// two rows up can no longer influence generation; free it.
+		m.freeRow(h - 2)
+	}
+	return m.collect()
+}
+
+// tpg applies the Theorem-3 check to two vertically consecutive cells. To
+// avoid firing on cells that are empty only because of vertical gating (see
+// DESIGN.md), it requires at least one frequent itemset across the pair.
+func (m *miner) tpg(up, down *cell) bool {
+	if !m.cfg.Pruning.usesTPG() {
+		return false
+	}
+	if up.frequent == 0 && down.frequent == 0 {
+		return false
+	}
+	if up.positive == 0 && down.positive == 0 {
+		m.stats.TPGBreaks++
+		return true
+	}
+	return false
+}
+
+// finishCell counts a cell's candidates, labels the frequent ones, links
+// chain liveness, and drops infrequent candidates keeping only their keys.
+func (m *miner) finishCell(c *cell) {
+	if c.candidates > 0 {
+		m.count(c)
+	}
+	thr := m.minSup[c.h]
+	for key, e := range c.entries {
+		if e.sup < thr {
+			delete(c.entries, key)
+			c.infreq[key] = struct{}{}
+			m.stats.dropResident(1, c.k)
+			continue
+		}
+		c.frequent++
+		m.stats.FrequentItemsets++
+		sups := make([]int64, len(e.items))
+		for i, id := range e.items {
+			sups[i] = m.sup1[c.h][id]
+		}
+		e.corr = m.cfg.Measure.Corr(e.sup, sups)
+		switch {
+		case e.corr >= m.cfg.Gamma:
+			e.label = LabelPositive
+			c.positive++
+			m.stats.PositiveItemsets++
+		case e.corr <= m.cfg.Epsilon:
+			e.label = LabelNegative
+			c.negative++
+			m.stats.NegativeItemsets++
+		}
+		if c.h == 1 {
+			e.alive = e.label.Labeled()
+		} else {
+			e.alive = e.label.Labeled() && e.parent != nil && e.parent.alive && e.label.Flips(e.parent.label)
+		}
+		if e.alive {
+			c.alive++
+			m.stats.AliveItemsets++
+		}
+	}
+	if m.cfg.KeepCellStats {
+		m.stats.Cells = append(m.stats.Cells, CellStat{
+			H: c.h, K: c.k, Candidates: c.candidates,
+			Frequent: c.frequent, Positive: c.positive, Negative: c.negative, Alive: c.alive,
+		})
+	}
+}
+
+// freeRow releases the cell maps of a completed row. Entries referenced by
+// alive descendants stay reachable through their parent pointers, so chains
+// survive for pattern assembly while dead itemsets become collectable — the
+// paper's memory story for Figure 9(b).
+func (m *miner) freeRow(h int) {
+	if h < 1 || m.rows[h] == nil {
+		return
+	}
+	for _, c := range m.rows[h] {
+		m.stats.dropResident(c.frequent, c.k)
+	}
+	m.rows[h] = nil
+}
+
+// collect assembles patterns from alive entries of the leaf row.
+func (m *miner) collect() []Pattern {
+	var out []Pattern
+	leafRow := m.rows[m.height]
+	if leafRow == nil {
+		return nil
+	}
+	for _, c := range leafRow {
+		for _, e := range c.entries {
+			if !e.alive {
+				continue
+			}
+			out = append(out, m.assemble(e))
+		}
+	}
+	return out
+}
+
+// assemble walks the parent chain of a leaf entry into a Pattern.
+func (m *miner) assemble(e *entry) Pattern {
+	chain := make([]LevelInfo, m.height)
+	cur := e
+	for h := m.height; h >= 1; h-- {
+		chain[h-1] = LevelInfo{
+			Level:   h,
+			Items:   cur.items,
+			Support: cur.sup,
+			Corr:    cur.corr,
+			Label:   cur.label,
+		}
+		cur = cur.parent
+	}
+	p := Pattern{Leaf: e.items, Chain: chain}
+	p.computeGap()
+	return p
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/flipper-mining/flipper/internal/measure"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// TestShuffleInvariance: the mined patterns (and every support and
+// correlation in their chains) must not depend on transaction order —
+// counting is a pure aggregation.
+func TestShuffleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		db, tree := randomDataset(rng)
+		cfg := Config{
+			Measure: measure.Kulczynski, Gamma: 0.3, Epsilon: 0.1,
+			MinSupAbs: []int64{2, 1, 1}, Pruning: Full, Materialize: true,
+		}
+		base, err := Mine(db, tree, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fingerprint(base, tree)
+		for _, seed := range []int64{1, 99} {
+			shuffled := txdb.New(tree.Dict())
+			for i := 0; i < db.Len(); i++ {
+				shuffled.AddSet(db.Tx(i))
+			}
+			shuffled.Shuffle(seed)
+			res, err := Mine(shuffled, tree, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprint(res, tree); got != want {
+				t.Fatalf("trial %d seed %d: result depends on transaction order", trial, seed)
+			}
+		}
+	}
+}
+
+// TestParallelismInvariance: worker count must not affect any reported
+// value, only wall-clock time.
+func TestParallelismInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 5; trial++ {
+		db, tree := randomDataset(rng)
+		cfg := Config{
+			Measure: measure.Kulczynski, Gamma: 0.3, Epsilon: 0.1,
+			MinSupAbs: []int64{1, 1, 1}, Pruning: Full, Materialize: true,
+		}
+		var want string
+		for _, workers := range []int{1, 2, 7, 16} {
+			c := cfg
+			c.Parallelism = workers
+			res, err := Mine(db, tree, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp := fingerprint(res, tree)
+			if workers == 1 {
+				want = fp
+				continue
+			}
+			if fp != want {
+				t.Fatalf("trial %d: %d workers changed the result", trial, workers)
+			}
+		}
+	}
+}
+
+// TestRepeatedMiningIsPure: mining the same inputs twice yields identical
+// results and leaves the database untouched.
+func TestRepeatedMiningIsPure(t *testing.T) {
+	db, tree := paperToy(t)
+	before := make([]string, db.Len())
+	for i := 0; i < db.Len(); i++ {
+		before[i] = db.Tx(i).Key()
+	}
+	cfg := toyConfig()
+	a, err := Mine(db, tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(db, tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a, tree) != fingerprint(b, tree) {
+		t.Fatal("two identical runs disagree")
+	}
+	for i := 0; i < db.Len(); i++ {
+		if db.Tx(i).Key() != before[i] {
+			t.Fatal("mining mutated the database")
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"github.com/flipper-mining/flipper/internal/itemset"
+)
+
+// Single-item based pruning (SIBP), the paper's Section 4.3.2.
+//
+// Per level h the frequent 1-items are kept sorted by ascending support
+// (m.sorted[h]). After counting cell Q(h,k), the maximal prefix of that list
+// whose items appear in no positive k-itemset forms R_h(k): by Corollary 2,
+// every itemset of size > k containing such an item is non-positive. When an
+// item sits in R_h(k) while its parent sits in R_{h-1}(k), no superset of the
+// item can be part of a flipping pattern — two consecutive chain levels
+// would be non-positive — so the item is excluded from candidate generation
+// in the remaining columns of row h.
+
+// sibpUpdate computes R_h(k) from a freshly counted cell.
+func (m *miner) sibpUpdate(h, k int, c *cell) {
+	maxCorr := make(map[itemset.ID]float64)
+	for _, e := range c.entries {
+		for _, id := range e.items {
+			if e.corr > maxCorr[id] {
+				maxCorr[id] = e.corr
+			}
+		}
+	}
+	r := make(map[itemset.ID]bool)
+	for _, id := range m.sorted[h] {
+		if m.excluded[h][id] {
+			// Already removed from the row; the next item inherits the
+			// "smallest remaining support" role.
+			continue
+		}
+		if maxCorr[id] >= m.cfg.Gamma {
+			break // prefix ends at the first item with a positive itemset
+		}
+		r[id] = true
+	}
+	m.rset[h] = r
+	m.rsetCol[h] = k
+}
+
+// sibpExclude excludes items of R_h(k) whose parents are in R_{h-1}(k).
+// Both R sets must come from the same column; a stale upper set (possible
+// when the row above terminated earlier) proves nothing.
+func (m *miner) sibpExclude(h, k int) {
+	if h < 2 || m.rset[h] == nil || m.rset[h-1] == nil {
+		return
+	}
+	if m.rsetCol[h] != k || m.rsetCol[h-1] != k {
+		return
+	}
+	up := m.rset[h-1]
+	for id := range m.rset[h] {
+		if m.excluded[h][id] {
+			continue
+		}
+		// AncestorAt rather than Parent: under leaf-copy extension a shallow
+		// leaf stands in for itself, and its level-(h-1) generalization is
+		// the stand-in, not the tree parent.
+		p, ok := m.tax.AncestorAt(id, h-1)
+		if ok && up[p] {
+			m.excluded[h][id] = true
+			m.stats.SIBPExcludedItems++
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/flipper-mining/flipper/internal/taxonomy"
+)
+
+// Report writers: machine-readable renderings of a mining result. The CLI
+// and the experiment harness use these; they are part of the public surface
+// through the facade.
+
+// patternJSON is the name-resolved JSON form of a pattern.
+type patternJSON struct {
+	Leaf  []string    `json:"leaf"`
+	Gap   float64     `json:"gap"`
+	Chain []levelJSON `json:"chain"`
+}
+
+type levelJSON struct {
+	Level   int      `json:"level"`
+	Items   []string `json:"items"`
+	Support int64    `json:"support"`
+	Corr    float64  `json:"corr"`
+	Label   string   `json:"label"`
+}
+
+// WriteJSON writes the result's patterns as a JSON array with item names
+// resolved through the taxonomy.
+func (r *Result) WriteJSON(w io.Writer, tree *taxonomy.Tree) error {
+	out := make([]patternJSON, 0, len(r.Patterns))
+	for _, p := range r.Patterns {
+		pj := patternJSON{Leaf: nameSlice(tree, p.Leaf), Gap: p.Gap}
+		for _, li := range p.Chain {
+			pj.Chain = append(pj.Chain, levelJSON{
+				Level:   li.Level,
+				Items:   nameSlice(tree, li.Items),
+				Support: li.Support,
+				Corr:    li.Corr,
+				Label:   li.Label.String(),
+			})
+		}
+		out = append(out, pj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteCSV writes one row per (pattern, level): pattern id, leaf itemset,
+// gap, level, level itemset, support, correlation, label.
+func (r *Result) WriteCSV(w io.Writer, tree *taxonomy.Tree) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"pattern", "leaf", "gap", "level", "items", "support", "corr", "label",
+	}); err != nil {
+		return err
+	}
+	for i, p := range r.Patterns {
+		for _, li := range p.Chain {
+			err := cw.Write([]string{
+				strconv.Itoa(i),
+				joinNames(tree, p.Leaf),
+				fmt.Sprintf("%.6f", p.Gap),
+				strconv.Itoa(li.Level),
+				joinNames(tree, li.Items),
+				strconv.FormatInt(li.Support, 10),
+				fmt.Sprintf("%.6f", li.Corr),
+				li.Label.String(),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func nameSlice(tree *taxonomy.Tree, s []int32) []string {
+	out := make([]string, len(s))
+	for i, id := range s {
+		out[i] = tree.Name(id)
+	}
+	return out
+}
+
+func joinNames(tree *taxonomy.Tree, s []int32) string {
+	out := ""
+	for i, id := range s {
+		if i > 0 {
+			out += "|"
+		}
+		out += tree.Name(id)
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	db, tree := paperToy(t)
+	res, err := Mine(db, tree, toyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteJSON(&sb, tree); err != nil {
+		t.Fatal(err)
+	}
+	var back []struct {
+		Leaf  []string `json:"leaf"`
+		Gap   float64  `json:"gap"`
+		Chain []struct {
+			Level   int      `json:"level"`
+			Items   []string `json:"items"`
+			Support int64    `json:"support"`
+			Corr    float64  `json:"corr"`
+			Label   string   `json:"label"`
+		} `json:"chain"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("patterns in JSON = %d", len(back))
+	}
+	p := back[0]
+	if len(p.Leaf) != 2 || p.Leaf[0] != "a11" || p.Leaf[1] != "b11" {
+		t.Errorf("leaf = %v", p.Leaf)
+	}
+	if len(p.Chain) != 3 {
+		t.Fatalf("chain levels = %d", len(p.Chain))
+	}
+	if p.Chain[0].Label != "+" || p.Chain[1].Label != "-" || p.Chain[2].Label != "+" {
+		t.Errorf("labels = %v %v %v", p.Chain[0].Label, p.Chain[1].Label, p.Chain[2].Label)
+	}
+	if p.Chain[1].Support != 2 {
+		t.Errorf("level-2 support = %d", p.Chain[1].Support)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	db, tree := paperToy(t)
+	res, err := Mine(db, tree, toyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb, tree); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	// Header + one row per chain level of the single pattern.
+	if len(records) != 1+3 {
+		t.Fatalf("rows = %d", len(records))
+	}
+	if records[0][0] != "pattern" || records[0][7] != "label" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][1] != "a11|b11" {
+		t.Errorf("leaf cell = %q", records[1][1])
+	}
+	if records[2][4] != "a1|b1" || records[2][7] != "-" {
+		t.Errorf("level-2 row = %v", records[2])
+	}
+}
+
+func TestWriteEmptyResult(t *testing.T) {
+	db, tree := paperToy(t)
+	cfg := toyConfig()
+	cfg.Gamma = 0.99 // nothing labels positive
+	res, err := Mine(db, tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteJSON(&sb, tree); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Errorf("empty JSON = %q", sb.String())
+	}
+	sb.Reset()
+	if err := res.WriteCSV(&sb, tree); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "pattern,") {
+		t.Errorf("empty CSV missing header: %q", sb.String())
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// CellStat records what happened in one cell Q(h,k) of the search-space
+// table; collected when Config.KeepCellStats is set.
+type CellStat struct {
+	H, K       int
+	Candidates int // itemsets generated and counted
+	Frequent   int // sup ≥ θ_h
+	Positive   int // Corr ≥ γ among frequent
+	Negative   int // Corr ≤ ε among frequent
+	Alive      int // frequent, labeled, chain alternates up to this level
+}
+
+// Stats aggregates the cost and yield counters of one mining run. The
+// candidate-memory counters reproduce the paper's Figure 9(b) comparison:
+// BASIC retains every frequent itemset it ever counts, while Flipper frees
+// non-flipping itemsets as rows complete.
+type Stats struct {
+	Transactions int
+	Height       int
+	MaxK         int
+
+	// DBScans counts sequential passes over the (level views of the)
+	// database, including the initial single-item pass.
+	DBScans int64
+	// CandidatesCounted is the number of itemsets whose support was counted.
+	CandidatesCounted int64
+	// SubsetPruned counts candidates discarded before counting because a
+	// (k-1)-subset was already known to be infrequent.
+	SubsetPruned int64
+	// FrequentItemsets / PositiveItemsets / NegativeItemsets tally counted
+	// itemsets of size ≥ 2 by outcome (complete totals only under Basic,
+	// where cells hold all frequent itemsets).
+	FrequentItemsets  int64
+	PositiveItemsets  int64
+	NegativeItemsets  int64
+	AliveItemsets     int64
+	TPGBreaks         int64
+	SIBPExcludedItems int64
+
+	// PeakCandidates and PeakBytes track the maximum number of itemsets
+	// resident at once and their estimated memory footprint.
+	PeakCandidates int64
+	PeakBytes      int64
+
+	Elapsed time.Duration
+	Cells   []CellStat
+
+	current      int64
+	currentBytes int64
+}
+
+// entryBytes estimates the resident footprint of one counted itemset: the
+// struct, its item slice, and the hash-map slot pointing at it.
+func entryBytes(k int) int64 { return 96 + 4*int64(k) }
+
+func (s *Stats) addResident(n int, k int) {
+	s.current += int64(n)
+	s.currentBytes += int64(n) * entryBytes(k)
+	if s.current > s.PeakCandidates {
+		s.PeakCandidates = s.current
+	}
+	if s.currentBytes > s.PeakBytes {
+		s.PeakBytes = s.currentBytes
+	}
+}
+
+func (s *Stats) dropResident(n int, k int) {
+	s.current -= int64(n)
+	s.currentBytes -= int64(n) * entryBytes(k)
+}
+
+// String renders a one-run summary for logs and the CLI.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d tx, H=%d, maxK=%d: ", s.Transactions, s.Height, s.MaxK)
+	fmt.Fprintf(&b, "%d candidates counted (%d subset-pruned), %d frequent (%d pos / %d neg, %d alive), ",
+		s.CandidatesCounted, s.SubsetPruned, s.FrequentItemsets, s.PositiveItemsets, s.NegativeItemsets, s.AliveItemsets)
+	fmt.Fprintf(&b, "%d scans, peak %d itemsets (%.1f MB est)",
+		s.DBScans, s.PeakCandidates, float64(s.PeakBytes)/(1<<20))
+	if s.TPGBreaks > 0 {
+		fmt.Fprintf(&b, ", %d TPG breaks", s.TPGBreaks)
+	}
+	if s.SIBPExcludedItems > 0 {
+		fmt.Fprintf(&b, ", %d SIBP-excluded items", s.SIBPExcludedItems)
+	}
+	fmt.Fprintf(&b, ", %v", s.Elapsed.Round(time.Millisecond))
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/flipper-mining/flipper/internal/taxonomy"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// Threshold workflow helpers, automating the guidance of the paper's
+// Section 5.1 ("the user may start from setting the negative threshold just
+// below γ, and gradually decrease it until the satisfactory number of
+// flipping patterns is obtained") and addressing the future-work question
+// of choosing γ and ε when the data expert cannot.
+
+// EpsilonPoint is one step of an ε sweep.
+type EpsilonPoint struct {
+	Epsilon  float64
+	Patterns int
+}
+
+// EpsilonSweep mines with each ε in the given list (every value must be
+// below cfg.Gamma) and reports the resulting pattern counts, descending ε
+// first — exactly the paper's manual workflow.
+func EpsilonSweep(src txdb.Source, tree *taxonomy.Tree, cfg Config, epsilons []float64) ([]EpsilonPoint, error) {
+	if len(epsilons) == 0 {
+		return nil, fmt.Errorf("core: empty epsilon list")
+	}
+	sorted := append([]float64(nil), epsilons...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	out := make([]EpsilonPoint, 0, len(sorted))
+	for _, eps := range sorted {
+		c := cfg
+		c.Epsilon = eps
+		res, err := Mine(src, tree, c)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep at ε=%v: %w", eps, err)
+		}
+		out = append(out, EpsilonPoint{Epsilon: eps, Patterns: len(res.Patterns)})
+	}
+	return out, nil
+}
+
+// SuggestEpsilon searches for the largest ε (most selective negative
+// threshold) whose pattern count reaches at least target, bisecting within
+// (0, cfg.Gamma). It returns the chosen ε and its result. When even the
+// loosest ε (just below γ) yields fewer than target patterns, the loosest
+// result is returned along with found=false.
+//
+// Lowering ε only shrinks the pattern set (fewer itemsets label negative),
+// so the count is monotone in ε and bisection is sound.
+func SuggestEpsilon(src txdb.Source, tree *taxonomy.Tree, cfg Config, target int) (eps float64, res *Result, found bool, err error) {
+	if target < 1 {
+		return 0, nil, false, fmt.Errorf("core: target %d must be ≥ 1", target)
+	}
+	const steps = 12
+	lo, hi := 0.0, cfg.Gamma*0.999 // ε must stay strictly below γ
+	mine := func(e float64) (*Result, error) {
+		c := cfg
+		c.Epsilon = e
+		return Mine(src, tree, c)
+	}
+	best, err := mine(hi)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if len(best.Patterns) < target {
+		return hi, best, false, nil
+	}
+	eps, res = hi, best
+	for i := 0; i < steps; i++ {
+		mid := (lo + hi) / 2
+		r, err := mine(mid)
+		if err != nil {
+			return 0, nil, false, err
+		}
+		if len(r.Patterns) >= target {
+			// mid is selective enough and still meets the target; prefer
+			// the smaller ε (stronger negatives) and search below.
+			eps, res = mid, r
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return eps, res, true, nil
+}

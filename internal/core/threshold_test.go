@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestEpsilonSweep(t *testing.T) {
+	db, tree := paperToy(t)
+	cfg := toyConfig()
+	points, err := EpsilonSweep(db, tree, cfg, []float64{0.1, 0.34, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Descending ε order.
+	if points[0].Epsilon != 0.34 || points[2].Epsilon != 0.1 {
+		t.Errorf("sweep order: %+v", points)
+	}
+	// Kulc(a1,b1) = 1/3 ≈ 0.333: ε=0.34 keeps the pattern, lower values
+	// lose it.
+	if points[0].Patterns != 1 {
+		t.Errorf("ε=0.34 patterns = %d, want 1", points[0].Patterns)
+	}
+	if points[1].Patterns != 0 || points[2].Patterns != 0 {
+		t.Errorf("tight ε patterns = %d/%d, want 0", points[1].Patterns, points[2].Patterns)
+	}
+	// Monotonicity along the sweep.
+	for i := 1; i < len(points); i++ {
+		if points[i].Patterns > points[i-1].Patterns {
+			t.Error("pattern count increased as ε decreased")
+		}
+	}
+	if _, err := EpsilonSweep(db, tree, cfg, nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+func TestSuggestEpsilon(t *testing.T) {
+	db, tree := paperToy(t)
+	cfg := toyConfig()
+	eps, res, found, err := SuggestEpsilon(db, tree, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("target 1 not reachable although ε=0.35 finds a pattern")
+	}
+	if len(res.Patterns) < 1 {
+		t.Fatalf("returned result has %d patterns", len(res.Patterns))
+	}
+	// The bisection should settle just above Kulc(a1,b1)=1/3 — certainly
+	// within (1/3, γ).
+	if eps <= 1.0/3 || eps >= cfg.Gamma {
+		t.Errorf("suggested ε = %v outside (1/3, γ)", eps)
+	}
+
+	// An impossible target reports found=false with the loosest result.
+	_, res2, found2, err := SuggestEpsilon(db, tree, cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found2 {
+		t.Error("target 50 reported as reachable")
+	}
+	if res2 == nil {
+		t.Error("loosest result missing")
+	}
+	if _, _, _, err := SuggestEpsilon(db, tree, cfg, 0); err == nil {
+		t.Error("target 0 accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package datasets
+
+import (
+	"math/rand"
+
+	"github.com/flipper-mining/flipper/internal/gen"
+	"github.com/flipper-mining/flipper/internal/taxonomy"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// Census simulates the paper's CENSUS dataset: an extract of 32,000
+// multi-attribute person records treated as transactions. The manually
+// built hierarchies follow the paper: level-1 nodes are single attribute
+// values (occupation, age group, income bin), level-2 leaves are attribute
+// combinations such as "craft-repair & bachelors"; the income bins have no
+// sub-divisions, so the tree is unbalanced and is leaf-copy extended
+// (Figure 3 variant B) — income bins answer for themselves at level 2.
+//
+// Planted patterns (the paper's Figure 11):
+//
+//   - Pattern A: occupation craft-repair is negatively correlated with
+//     income ≥ 50K, but craft-repair & bachelors flips to positive.
+//   - Pattern B: age 60–65 is negatively correlated with income ≥ 50K, but
+//     60–65 & executive flips to positive.
+//
+// Thresholds follow the paper's Table 4 CENSUS row (γ=0.25, ε=0.15) with
+// the support profile truncated to the simulator's two levels.
+func Census(scale float64, seed int64) (*Dataset, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(32000 * scale)
+	rng := rand.New(rand.NewSource(seed))
+
+	occupations := []string{"craft-repair", "executive", "service", "sales", "tech-support"}
+	occShare := []float64{0.15, 0.18, 0.35, 0.17, 0.15}
+	educations := []string{"bachelors", "hs-grad", "some-college", "masters"}
+	// eduShare[occ][edu]
+	eduShare := map[string][]float64{
+		"craft-repair": {0.15, 0.50, 0.30, 0.05},
+		"executive":    {0.40, 0.10, 0.20, 0.30},
+		"service":      {0.10, 0.55, 0.30, 0.05},
+		"sales":        {0.25, 0.35, 0.30, 0.10},
+		"tech-support": {0.35, 0.20, 0.30, 0.15},
+	}
+	ages := []string{"25-35", "36-45", "46-59", "60-65"}
+	ageShare := []float64{0.30, 0.30, 0.32, 0.08}
+	// The age hierarchy's combination attribute groups occupations coarsely.
+	ageOcc := map[string]string{
+		"craft-repair": "craft-repair",
+		"executive":    "executive",
+		"service":      "service",
+		"sales":        "clerical",
+		"tech-support": "clerical",
+	}
+
+	b := taxonomy.NewBuilder(nil)
+	for _, occ := range occupations {
+		root := "occupation: " + occ
+		for _, edu := range educations {
+			if err := b.AddPath(root, occ+" & "+edu); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, age := range ages {
+		root := "age: " + age
+		for _, grp := range []string{"executive", "craft-repair", "service", "clerical"} {
+			if err := b.AddPath(root, age+" & "+grp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	b.AddRoot("income >= 50K")
+	b.AddRoot("income < 50K")
+	tree0, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	tree := tree0.Extend() // income bins answer for level 2 as themselves
+
+	// P(income ≥ 50K | occupation, education, age).
+	incomeProb := func(occ, edu, age string) float64 {
+		if age == "60-65" {
+			if occ == "executive" {
+				return 0.80
+			}
+			return 0.05
+		}
+		switch occ {
+		case "craft-repair":
+			if edu == "bachelors" {
+				return 0.85
+			}
+			return 0.05
+		case "executive":
+			return 0.60
+		case "service":
+			return 0.08
+		case "sales":
+			return 0.30
+		default: // tech-support
+			return 0.50
+		}
+	}
+
+	db := txdb.New(tree.Dict())
+	for i := 0; i < n; i++ {
+		occ := occupations[weighted(rng, occShare)]
+		edu := educations[weighted(rng, eduShare[occ])]
+		age := ages[weighted(rng, ageShare)]
+		income := "income < 50K"
+		if rng.Float64() < incomeProb(occ, edu, age) {
+			income = "income >= 50K"
+		}
+		db.AddNames(occ+" & "+edu, age+" & "+ageOcc[occ], income)
+	}
+
+	expected := []gen.ExpectedFlip{
+		{
+			LeafA: "craft-repair & bachelors", LeafB: "income >= 50K",
+			Labels:         []string{"-", "+"},
+			MinLeafSupport: int64(float64(n) * 0.15 * 0.15 * 0.5), // conservative
+		},
+		{
+			LeafA: "60-65 & executive", LeafB: "income >= 50K",
+			Labels:         []string{"-", "+"},
+			MinLeafSupport: int64(float64(n) * 0.08 * 0.18 * 0.5),
+		},
+	}
+	return &Dataset{
+		Name:     "CENSUS",
+		DB:       db,
+		Tree:     tree,
+		Expected: expected,
+		Gamma:    0.25,
+		Epsilon:  0.15,
+		MinSup:   []float64{0.002, 0.001},
+	}, nil
+}
+
+// weighted draws an index proportional to the weights.
+func weighted(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,231 @@
+package datasets
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/flipper-mining/flipper/internal/core"
+	"github.com/flipper-mining/flipper/internal/gen"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// findPlanted locates a mined pattern matching the expected flip (unordered
+// leaf pair plus the exact label chain) and reports whether it was found.
+func findPlanted(t *testing.T, ds *Dataset, res *core.Result, exp gen.ExpectedFlip) bool {
+	t.Helper()
+	wantPair := []string{exp.LeafA, exp.LeafB}
+	sort.Strings(wantPair)
+	for _, p := range res.Patterns {
+		if len(p.Leaf) != 2 {
+			continue
+		}
+		got := []string{ds.Tree.Name(p.Leaf[0]), ds.Tree.Name(p.Leaf[1])}
+		sort.Strings(got)
+		if got[0] != wantPair[0] || got[1] != wantPair[1] {
+			continue
+		}
+		if len(p.Chain) != len(exp.Labels) {
+			t.Fatalf("%s: pattern %v has %d levels, expected %d", ds.Name, got, len(p.Chain), len(exp.Labels))
+		}
+		for i, li := range p.Chain {
+			if li.Label.String() != exp.Labels[i] {
+				t.Fatalf("%s: pattern %v level %d labeled %s, planted %s",
+					ds.Name, got, li.Level, li.Label, exp.Labels[i])
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func mineDataset(t *testing.T, ds *Dataset) *core.Result {
+	t.Helper()
+	res, err := core.Mine(ds.DB, ds.Tree, ds.Config())
+	if err != nil {
+		t.Fatalf("%s: %v", ds.Name, err)
+	}
+	return res
+}
+
+func TestGroceriesRecoversPlantedPatterns(t *testing.T) {
+	ds, err := Groceries(1.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.DB.Len() != 9800 {
+		t.Fatalf("groceries has %d transactions, want 9800", ds.DB.Len())
+	}
+	if ds.Tree.Height() != 3 {
+		t.Fatalf("groceries taxonomy height = %d", ds.Tree.Height())
+	}
+	res := mineDataset(t, ds)
+	for _, exp := range ds.Expected {
+		if !findPlanted(t, ds, res, exp) {
+			t.Errorf("planted pattern {%s, %s} (%v) not recovered; %d patterns found",
+				exp.LeafA, exp.LeafB, exp.Labels, len(res.Patterns))
+		}
+	}
+}
+
+func TestCensusRecoversPlantedPatterns(t *testing.T) {
+	ds, err := Census(0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.DB.Len() != 16000 {
+		t.Fatalf("census has %d records", ds.DB.Len())
+	}
+	if ds.Tree.Height() != 2 {
+		t.Fatalf("census taxonomy height = %d", ds.Tree.Height())
+	}
+	if !ds.Tree.Extended() {
+		t.Fatal("census tree must be leaf-copy extended (income bins)")
+	}
+	res := mineDataset(t, ds)
+	for _, exp := range ds.Expected {
+		if !findPlanted(t, ds, res, exp) {
+			t.Errorf("planted pattern {%s, %s} not recovered (%d patterns)",
+				exp.LeafA, exp.LeafB, len(res.Patterns))
+		}
+	}
+}
+
+func TestMedlineRecoversPlantedPatterns(t *testing.T) {
+	ds, err := Medline(0.02, 11) // 12,800 citations for test speed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.DB.Len() != 12800 {
+		t.Fatalf("medline has %d citations", ds.DB.Len())
+	}
+	if ds.Tree.Height() != 3 {
+		t.Fatalf("medline taxonomy height = %d", ds.Tree.Height())
+	}
+	if !ds.Tree.Extended() {
+		t.Fatal("medline tree must be leaf-copy extended (temperance)")
+	}
+	res := mineDataset(t, ds)
+	for _, exp := range ds.Expected {
+		if !findPlanted(t, ds, res, exp) {
+			t.Errorf("planted pattern {%s, %s} not recovered (%d patterns)",
+				exp.LeafA, exp.LeafB, len(res.Patterns))
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Groceries(0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Groceries(0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DB.Len() != b.DB.Len() {
+		t.Fatal("sizes differ")
+	}
+	for i := 0; i < a.DB.Len(); i++ {
+		if !a.DB.Tx(i).Equal(b.DB.Tx(i)) {
+			t.Fatalf("transaction %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		ds, err := ByName(name, 0.02, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Name != name {
+			t.Errorf("ByName(%s).Name = %s", name, ds.Name)
+		}
+		if ds.DB.Len() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+		if len(ds.MinSup) != ds.Tree.Height() {
+			t.Errorf("%s: MinSup levels %d != height %d", name, len(ds.MinSup), ds.Tree.Height())
+		}
+	}
+	if _, err := ByName("imdb", 1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	// Lowercase aliases work.
+	if _, err := ByName("groceries", 0.02, 1); err != nil {
+		t.Error("lowercase alias rejected")
+	}
+}
+
+func TestDatasetStatsAreRealistic(t *testing.T) {
+	ds, err := Groceries(1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := txdb.ComputeStats(ds.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DistinctItems < 40 {
+		t.Errorf("groceries distinct items = %d, unrealistically few", st.DistinctItems)
+	}
+	if st.AvgWidth < 1.2 || st.AvgWidth > 8 {
+		t.Errorf("groceries avg width = %v", st.AvgWidth)
+	}
+	if strings.TrimSpace(ds.Tree.Describe()) == "" {
+		t.Error("empty taxonomy description")
+	}
+}
+
+func TestPaperToy(t *testing.T) {
+	ds := PaperToy()
+	if ds.DB.Len() != 10 {
+		t.Fatalf("toy has %d transactions", ds.DB.Len())
+	}
+	res, err := core.Mine(ds.DB, ds.Tree, ds.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 1 {
+		t.Fatalf("toy patterns = %d, want 1", len(res.Patterns))
+	}
+	if !findPlanted(t, ds, res, ds.Expected[0]) {
+		t.Error("toy pattern {a11,b11} not matched")
+	}
+}
+
+func TestMoviesRecoversMotivatingExample(t *testing.T) {
+	ds, err := Movies(1.0, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.DB.Len() != 6000 {
+		t.Fatalf("movies has %d users", ds.DB.Len())
+	}
+	if ds.Tree.Height() != 2 {
+		t.Fatalf("movies taxonomy height = %d", ds.Tree.Height())
+	}
+	res := mineDataset(t, ds)
+	if !findPlanted(t, ds, res, ds.Expected[0]) {
+		t.Errorf("Big Country × High Noon not recovered (%d patterns)", len(res.Patterns))
+	}
+	// The genre-level pair must be negative while the movie pair is
+	// positive — the motivating flip of the paper's Example 1.
+}
+
+func TestMoviesDeterminism(t *testing.T) {
+	a, err := Movies(0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Movies(0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.DB.Len(); i++ {
+		if !a.DB.Tx(i).Equal(b.DB.Tx(i)) {
+			t.Fatalf("transaction %d differs", i)
+		}
+	}
+}

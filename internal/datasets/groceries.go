@@ -1,0 +1,164 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/flipper-mining/flipper/internal/gen"
+	"github.com/flipper-mining/flipper/internal/taxonomy"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// Groceries simulates the paper's GROCERIES dataset: one month of
+// point-of-sale data, 9,800 transactions, a 3-level store taxonomy.
+// The planted flips are the paper's published patterns (Figure 10 and the
+// accompanying text):
+//
+//   - canned beer × baby cosmetics: positively correlated specifics under
+//     the negatively correlated beer and cosmetics sub-categories (the
+//     "beer and diapers" pattern, chain +,−,+ from the department level).
+//   - pork chops × salad dressing: positive at the shelf level while pork
+//     and dressings are negative (chain +,−,+) — the store-layout example.
+//   - eggs × fresh fish: negative specifics under positively correlated
+//     sub-categories of fresh produce and meat&fish (chain −,+,−).
+//
+// Thresholds follow the paper's Table 4 GROCERIES row:
+// γ=0.15, ε=0.10, θ=(0.001, 0.0005, 0.0002).
+func Groceries(scale float64, seed int64) (*Dataset, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(9800 * scale)
+	rng := rand.New(rand.NewSource(seed))
+	b := taxonomy.NewBuilder(nil)
+
+	// Absolute thresholds implied by the Table-4 GROCERIES row at this size;
+	// planted block multipliers are derived from them so every chain level
+	// stays frequent at any scale.
+	theta1 := int(math.Ceil(0.001 * float64(n)))
+	theta2 := int(math.Ceil(0.0005 * float64(n)))
+	theta3 := int(math.Ceil(0.0002 * float64(n)))
+	// (+,−,+) chains: leaf and mid pair supports are 2s, root pair 42s.
+	sPos := maxInt(1, (theta3+1)/2, (theta2+1)/2, (theta1+41)/42)
+	// (−,+,−) chains: leaf pair support is s, mid and root pairs 25s.
+	sNeg := maxInt(1, theta3, (theta2+24)/25, (theta1+24)/25)
+
+	flips := []gen.FlipSpec3{
+		{
+			RootA: "drinks", MidA: "beer", AltMidA: "soft drinks",
+			LeafA: "canned beer", SibA: "bottled beer", AltLeafA: "soda",
+			RootB: "non-food", MidB: "cosmetics", AltMidB: "household",
+			LeafB: "baby cosmetics", SibB: "hand cream", AltLeafB: "napkins",
+			LeafPositive: true, Scale: sPos,
+		},
+		{
+			RootA: "meat", MidA: "pork", AltMidA: "poultry",
+			LeafA: "pork chops", SibA: "pork belly", AltLeafA: "chicken breast",
+			RootB: "delicatessen", MidB: "dressings", AltMidB: "spreads",
+			LeafB: "salad dressing", SibB: "mayonnaise", AltLeafB: "hummus",
+			LeafPositive: true, Scale: sPos,
+		},
+		{
+			RootA: "fresh produce", MidA: "dairy and eggs", AltMidA: "vegetables",
+			LeafA: "eggs", SibA: "butter", AltLeafA: "root vegetables",
+			RootB: "meat and fish", MidB: "fish", AltMidB: "sausage",
+			LeafB: "fresh fish", SibB: "smoked fish", AltLeafB: "frankfurter",
+			LeafPositive: false, Scale: sNeg,
+		},
+	}
+	for _, f := range flips {
+		if err := f.Register(b); err != nil {
+			return nil, err
+		}
+	}
+
+	// Background departments for realistic noise.
+	noise := map[string]map[string][]string{
+		"bakery": {
+			"bread":  {"white bread", "whole wheat bread", "rolls"},
+			"pastry": {"croissant", "muffin", "donut"},
+		},
+		"pantry": {
+			"canned goods": {"canned tomatoes", "canned corn", "canned beans"},
+			"pasta":        {"spaghetti", "penne", "noodles"},
+			"baking":       {"flour", "sugar", "yeast"},
+		},
+		"snacks": {
+			"chips":     {"potato chips", "tortilla chips"},
+			"chocolate": {"milk chocolate", "dark chocolate", "pralines"},
+		},
+		"frozen": {
+			"frozen meals":   {"frozen pizza", "frozen lasagna"},
+			"frozen dessert": {"ice cream", "frozen yogurt"},
+		},
+		"beverages": {
+			"juice":      {"orange juice", "apple juice"},
+			"hot drinks": {"coffee", "tea", "cocoa"},
+		},
+		"dairy": {
+			"milk":   {"whole milk", "low fat milk"},
+			"cheese": {"gouda", "cheddar", "cream cheese"},
+			"yogurt": {"plain yogurt", "fruit yogurt"},
+		},
+	}
+	noiseLeaves, err := addForest(b, noise)
+	if err != nil {
+		return nil, err
+	}
+
+	tree, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	db := txdb.New(tree.Dict())
+
+	// Noise basket: 1–6 items, with mild same-department affinity supplied
+	// by drawing a second item near the first.
+	basket := func(rng *rand.Rand) []string {
+		w := 1 + rng.Intn(6)
+		items := make([]string, 0, w)
+		first := rng.Intn(len(noiseLeaves))
+		items = append(items, noiseLeaves[first])
+		for len(items) < w {
+			if rng.Float64() < 0.4 {
+				// Neighbouring leaf index: same or adjacent shelf.
+				j := first + rng.Intn(5) - 2
+				if j < 0 {
+					j = 0
+				}
+				if j >= len(noiseLeaves) {
+					j = len(noiseLeaves) - 1
+				}
+				items = append(items, noiseLeaves[j])
+			} else {
+				items = append(items, noiseLeaves[rng.Intn(len(noiseLeaves))])
+			}
+		}
+		return items
+	}
+	filler := func(rng *rand.Rand) []string {
+		if rng.Float64() < 0.5 {
+			return nil
+		}
+		return basket(rng)[:1]
+	}
+
+	var expected []gen.ExpectedFlip
+	for _, f := range flips {
+		expected = append(expected, f.Emit(db, rng, filler))
+	}
+	for db.Len() < n {
+		db.AddNames(basket(rng)...)
+	}
+	db.Shuffle(seed + 1)
+
+	return &Dataset{
+		Name:     "GROCERIES",
+		DB:       db,
+		Tree:     tree,
+		Expected: expected,
+		Gamma:    0.15,
+		Epsilon:  0.10,
+		MinSup:   []float64{0.001, 0.0005, 0.0002},
+	}, nil
+}

@@ -1,0 +1,186 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/flipper-mining/flipper/internal/gen"
+	"github.com/flipper-mining/flipper/internal/taxonomy"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// Medline simulates the paper's MEDLINE dataset: medical paper citations
+// (transactions) indexed with MeSH topics organized in a hierarchy, of which
+// the paper uses the top three levels. The original working set has 640,000
+// citations; that is the simulator's scale 1.0 (tests and benches typically
+// run a fraction — pass e.g. 0.05 for 32,000).
+//
+// Planted patterns (the paper's Figure 12):
+//
+//   - Pattern A: substance-related disorders are often studied together
+//     with temperance (positive at level 2) while the specific combination
+//     withdrawal syndrome × temperance is underrepresented (negative at the
+//     leaf level); mental disorders and human activities are negatively
+//     correlated at level 1. Temperance itself has no MeSH children here,
+//     so the tree is unbalanced and leaf-copy extended — temperance answers
+//     for itself at levels 2 and 3 exactly as the paper's Figure 12 shows.
+//   - Pattern B: psychophysiology × psychotherapy are negatively correlated
+//     sub-disciplines whose specifics biofeedback × behavior therapy flip
+//     to positive (chain +,−,+).
+//
+// Thresholds follow the paper's Table 4 MEDLINE row:
+// γ=0.40, ε=0.10, θ=(0.001, 0.0005, 0.0001).
+func Medline(scale float64, seed int64) (*Dataset, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(640000 * scale)
+	rng := rand.New(rand.NewSource(seed))
+
+	// Absolute thresholds implied by the Table-4 row at this scale; planted
+	// block sizes are derived from them so the chains stay frequent at any
+	// scale.
+	theta1 := int(math.Ceil(0.001 * float64(n)))
+	theta2 := int(math.Ceil(0.0005 * float64(n)))
+	theta3 := int(math.Ceil(0.0001 * float64(n)))
+
+	b := taxonomy.NewBuilder(nil)
+
+	// Pattern A nodes (hand-planted; temperance is a shallow leaf).
+	for _, path := range [][]string{
+		{"mental disorders", "substance-related disorders", "withdrawal syndrome"},
+		{"mental disorders", "substance-related disorders", "substance use disorder"},
+		{"mental disorders", "mood disorders", "depressive disorder"},
+		{"human activities", "temperance"},
+		{"human activities", "leisure activities", "recreation"},
+	} {
+		if err := b.AddPath(path...); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pattern B via the generic 3-level planter.
+	// Scale: the mid-level pair support is 2s and must clear θ2; the leaf
+	// pair (2s) must clear θ3 and the root pair (42s) θ1.
+	sB := maxInt(1, (theta2+1)/2+1, theta3, (theta1+41)/42)
+	flipB := gen.FlipSpec3{
+		RootA: "psychological phenomena", MidA: "psychophysiology", AltMidA: "mental processes",
+		LeafA: "biofeedback", SibA: "arousal", AltLeafA: "memory",
+		RootB: "behavioral disciplines", MidB: "psychotherapy", AltMidB: "behavioral sciences",
+		LeafB: "behavior therapy", SibB: "group psychotherapy", AltLeafB: "ethology",
+		LeafPositive: true, Scale: sB,
+	}
+	if err := flipB.Register(b); err != nil {
+		return nil, err
+	}
+
+	// Background MeSH-like topic forest.
+	noise := map[string]map[string][]string{
+		"diseases": {
+			"cardiovascular diseases": {"heart failure", "hypertension", "arrhythmia"},
+			"neoplasms":               {"carcinoma", "lymphoma", "melanoma"},
+			"respiratory diseases":    {"asthma", "copd", "pneumonia"},
+		},
+		"chemicals and drugs": {
+			"antibiotics":     {"penicillins", "macrolides"},
+			"antineoplastics": {"alkylating agents", "antimetabolites"},
+			"hormones":        {"insulin", "glucocorticoids"},
+		},
+		"anatomy": {
+			"cardiovascular system": {"myocardium", "coronary vessels"},
+			"nervous system":        {"cerebral cortex", "hippocampus", "spinal cord"},
+		},
+		"techniques": {
+			"diagnostic imaging": {"mri", "tomography", "ultrasonography"},
+			"genetic techniques": {"sequencing", "pcr", "gene expression profiling"},
+		},
+		"health care": {
+			"health services": {"primary health care", "emergency services"},
+			"quality of care": {"patient safety", "outcome assessment"},
+		},
+		"organisms": {
+			"bacteria": {"escherichia coli", "staphylococcus aureus"},
+			"viruses":  {"influenza virus", "coronavirus"},
+		},
+	}
+	noiseLeaves, err := addForest(b, noise)
+	if err != nil {
+		return nil, err
+	}
+
+	tree0, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	tree := tree0.Extend() // temperance answers for levels 2 and 3
+
+	db := txdb.New(tree.Dict())
+
+	// Zipf-skewed topic popularity for noise citations (2–8 topics each).
+	zipf := rand.NewZipf(rng, 1.4, 4, uint64(len(noiseLeaves)-1))
+	citation := func(rng *rand.Rand) []string {
+		w := 2 + rng.Intn(7)
+		items := make([]string, 0, w)
+		for len(items) < w {
+			items = append(items, noiseLeaves[int(zipf.Uint64())])
+		}
+		return items
+	}
+	filler := func(rng *rand.Rand) []string {
+		if rng.Float64() < 0.6 {
+			return nil
+		}
+		return citation(rng)[:1]
+	}
+
+	// Pattern A blocks (chain −,+,−): see the package-level derivation —
+	// sup(ws)=13s, sup(temperance)=13s, leaf co-occurrence s;
+	// substance-related × temperance co-occur 13s of sup(SR)=25s;
+	// mental disorders × human activities diluted by v root-only blocks.
+	sA := maxInt(1, theta3, (theta2+12)/13, (theta1+12)/13)
+	vA := 120 * sA
+	emit := func(count int, names ...string) {
+		for i := 0; i < count; i++ {
+			tx := append([]string(nil), names...)
+			tx = append(tx, filler(rng)...)
+			db.AddNames(tx...)
+		}
+	}
+	emit(12*sA, "substance use disorder", "temperance")
+	emit(1*sA, "withdrawal syndrome", "temperance")
+	emit(12*sA, "withdrawal syndrome", "depressive disorder")
+	emit(vA, "depressive disorder")
+	emit(vA, "recreation")
+	expA := gen.ExpectedFlip{
+		LeafA: "temperance", LeafB: "withdrawal syndrome",
+		Labels:         []string{"-", "+", "-"},
+		MinLeafSupport: int64(sA),
+	}
+
+	expB := flipB.Emit(db, rng, filler)
+
+	for db.Len() < n {
+		db.AddNames(citation(rng)...)
+	}
+	db.Shuffle(seed + 1)
+
+	return &Dataset{
+		Name:     "MEDLINE",
+		DB:       db,
+		Tree:     tree,
+		Expected: []gen.ExpectedFlip{expA, expB},
+		Gamma:    0.40,
+		Epsilon:  0.10,
+		MinSup:   []float64{0.001, 0.0005, 0.0001},
+	}, nil
+}
+
+func maxInt(vals ...int) int {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,156 @@
+package datasets
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/flipper-mining/flipper/internal/gen"
+	"github.com/flipper-mining/flipper/internal/taxonomy"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// Movies simulates the paper's motivating MovieLens example (Example 1,
+// Figure 2a): each user is a transaction holding the movies they ranked
+// 4/5 or higher; the taxonomy groups movies into genres. Romance and
+// western are negatively correlated genres, yet "The Big Country (1958)"
+// and "High Noon (1952)" are favored together — the correlation flips from
+// negative to positive one level down.
+//
+// The original MovieLens rankings are not redistributable; the simulator
+// draws genre-affine users (each user favors 1–2 genres and ranks mostly
+// within them) plus a planted audience that loves both flip movies. Scale
+// 1.0 is 6,000 users (the MovieLens-1M user count).
+func Movies(scale float64, seed int64) (*Dataset, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(6000 * scale)
+	rng := rand.New(rand.NewSource(seed))
+
+	genres := map[string][]string{
+		"romance": {
+			"A Farewell to Arms (1932)", "An Affair to Remember (1957)",
+			"Roman Holiday (1953)", "Casablanca (1942)",
+		},
+		"western": {
+			"My Darling Clementine (1946)", "Rio Bravo (1959)",
+			"Shane (1953)", "The Searchers (1956)",
+		},
+		"action": {
+			"The Great Escape (1963)", "Bullitt (1968)", "Goldfinger (1964)",
+		},
+		"adventure": {
+			"The African Queen (1951)", "Around the World in 80 Days (1956)",
+			"Treasure Island (1950)",
+		},
+		"drama": {
+			"12 Angry Men (1957)", "On the Waterfront (1954)",
+			"Sunset Boulevard (1950)", "All About Eve (1950)",
+		},
+		"comedy": {
+			"Some Like It Hot (1959)", "The Apartment (1960)",
+			"Harvey (1950)",
+		},
+	}
+	// The two flip movies of Figure 2(a).
+	bigCountry := "The Big Country (1958)"
+	highNoon := "High Noon (1952)"
+	genres["romance"] = append(genres["romance"], bigCountry)
+	genres["western"] = append(genres["western"], highNoon)
+
+	b := taxonomy.NewBuilder(nil)
+	genreNames := make([]string, 0, len(genres))
+	for g := range genres {
+		genreNames = append(genreNames, g)
+	}
+	sort.Strings(genreNames)
+	for _, g := range genreNames {
+		for _, m := range genres[g] {
+			if err := b.AddPath(g, m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	tree, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	db := txdb.New(tree.Dict())
+
+	// Genre affinity matrix: which second genre a fan of the first also
+	// likes. Action pairs with adventure (the paper's positive example);
+	// romance and western avoid each other.
+	second := map[string][]string{
+		"romance":   {"drama", "comedy", "romance"},
+		"western":   {"action", "drama", "western"},
+		"action":    {"adventure", "adventure", "western"},
+		"adventure": {"action", "comedy", "drama"},
+		"drama":     {"romance", "comedy", "drama"},
+		"comedy":    {"drama", "romance", "adventure"},
+	}
+	// pick draws up to k distinct movies from a genre, honouring (and
+	// extending) the avoid set; it returns fewer when the pool runs dry
+	// (the same genre can be drawn as both first and second choice).
+	pick := func(genre string, k int, avoid map[string]bool) []string {
+		avail := make([]string, 0, len(genres[genre]))
+		for _, m := range genres[genre] {
+			if !avoid[m] {
+				avail = append(avail, m)
+			}
+		}
+		rng.Shuffle(len(avail), func(i, j int) { avail[i], avail[j] = avail[j], avail[i] })
+		if k > len(avail) {
+			k = len(avail)
+		}
+		for _, m := range avail[:k] {
+			avoid[m] = true
+		}
+		return avail[:k]
+	}
+
+	// The planted audience: users who favor exactly the two flip movies
+	// (plus unrelated filler), making the pair positively correlated while
+	// the genres stay negative.
+	crossFans := 10 + n/200
+	for i := 0; i < crossFans; i++ {
+		tx := []string{bigCountry, highNoon}
+		avoid := map[string]bool{bigCountry: true, highNoon: true}
+		tx = append(tx, pick("drama", 1+rng.Intn(2), avoid)...)
+		db.AddNames(tx...)
+	}
+	for db.Len() < n {
+		g1 := genreNames[rng.Intn(len(genreNames))]
+		avoid := map[string]bool{bigCountry: true, highNoon: true}
+		tx := pick(g1, 1+rng.Intn(3), avoid)
+		if rng.Float64() < 0.7 {
+			g2 := second[g1][rng.Intn(len(second[g1]))]
+			tx = append(tx, pick(g2, 1+rng.Intn(2), avoid)...)
+		}
+		// Occasionally a flip movie shows up in its own genre's context,
+		// keeping its single support realistic without pairing the two.
+		if rng.Float64() < 0.02 {
+			if g1 == "romance" {
+				tx = append(tx, bigCountry)
+			} else if g1 == "western" {
+				tx = append(tx, highNoon)
+			}
+		}
+		db.AddNames(tx...)
+	}
+	db.Shuffle(seed + 1)
+
+	minLeaf := int64(crossFans)
+	return &Dataset{
+		Name: "MOVIES",
+		DB:   db,
+		Tree: tree,
+		Expected: []gen.ExpectedFlip{{
+			LeafA: bigCountry, LeafB: highNoon,
+			Labels:         []string{"-", "+"},
+			MinLeafSupport: minLeaf,
+		}},
+		Gamma:   0.30,
+		Epsilon: 0.15,
+		MinSup:  []float64{0.002, 0.001},
+	}, nil
+}

@@ -1,0 +1,57 @@
+package datasets
+
+import (
+	"github.com/flipper-mining/flipper/internal/gen"
+	"github.com/flipper-mining/flipper/internal/taxonomy"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// PaperToy returns the worked example of the paper's Figure 4: a 3-level
+// taxonomy over categories a and b and ten transactions. With the paper's
+// thresholds (γ=0.6, ε=0.35, any minimum support ≥ 1) the only flipping
+// pattern is {a11, b11} — Figure 5's chain ab(+) → a1b1(−) → a11b11(+).
+func PaperToy() *Dataset {
+	b := taxonomy.NewBuilder(nil)
+	for _, path := range [][]string{
+		{"a", "a1", "a11"}, {"a", "a1", "a12"},
+		{"a", "a2", "a21"}, {"a", "a2", "a22"},
+		{"b", "b1", "b11"}, {"b", "b1", "b12"},
+		{"b", "b2", "b21"}, {"b", "b2", "b22"},
+	} {
+		if err := b.AddPath(path...); err != nil {
+			panic(err) // static input
+		}
+	}
+	tree, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	db := txdb.New(tree.Dict())
+	for _, tx := range [][]string{
+		{"a11", "a22", "b11", "b22"},
+		{"a11", "a21", "b11"},
+		{"a12", "a21"},
+		{"a12", "a22", "b21"},
+		{"a12", "a22", "b21"},
+		{"a12", "a21", "b22"},
+		{"a21", "b12"},
+		{"b12", "b21", "b22"},
+		{"b12", "b21"},
+		{"a22", "b12", "b22"},
+	} {
+		db.AddNames(tx...)
+	}
+	return &Dataset{
+		Name: "PAPER-TOY",
+		DB:   db,
+		Tree: tree,
+		Expected: []gen.ExpectedFlip{{
+			LeafA: "a11", LeafB: "b11",
+			Labels:         []string{"+", "-", "+"},
+			MinLeafSupport: 2,
+		}},
+		Gamma:   0.6,
+		Epsilon: 0.35,
+		MinSup:  []float64{0.1, 0.1, 0.1},
+	}
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/flipper-mining/flipper/internal/core"
+	"github.com/flipper-mining/flipper/internal/datasets"
+	"github.com/flipper-mining/flipper/internal/measure"
+)
+
+// loadReal builds the three dataset simulators at the requested scale.
+func loadReal(s Scale) ([]*datasets.Dataset, error) {
+	g, err := datasets.Groceries(s.GroceriesScale, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c, err := datasets.Census(s.CensusScale, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := datasets.Medline(s.MedlineScale, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return []*datasets.Dataset{g, c, m}, nil
+}
+
+// Fig9a reproduces Figure 9(a): running time of the naive flipping-based
+// pruning versus the full Flipper (flipping + TPG + SIBP) on the three
+// real datasets. The paper excludes BASIC here — it ran beyond 10 hours on
+// the smallest dataset; the Table-4 thresholds put the miners deep in the
+// low-support regime where support-only pruning collapses.
+func Fig9a(s Scale) (*Table, error) {
+	dss, err := loadReal(s)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig9a",
+		Title:   "Running time (sec) on real datasets: naive flipping vs full Flipper",
+		Columns: []string{"Dataset", "Tx", "NaiveFlipping", "FullFlipper"},
+		Notes: []string{
+			"naive = flipping-based pruning only; full = flipping+TPG+SIBP",
+			fmt.Sprintf("scales: groceries ×%g, census ×%g, medline ×%g of the original sizes",
+				s.GroceriesScale, s.CensusScale, s.MedlineScale),
+		},
+	}
+	for _, ds := range dss {
+		row := []string{ds.Name, fmt.Sprintf("%d", ds.DB.Len())}
+		for _, pruning := range []core.PruningLevel{core.Flipping, core.Full} {
+			cfg := ds.Config()
+			cfg.Pruning = pruning
+			res, err := core.Mine(ds.DB, ds.Tree, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, seconds(res.Stats.Elapsed))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig9b reproduces Figure 9(b): memory consumption on the real datasets,
+// measured as the peak number of resident candidate itemsets and their
+// estimated bytes. The paper's full version stayed under 2 GB while the
+// naive version needed gigabytes — the ratio is the reproduced shape.
+func Fig9b(s Scale) (*Table, error) {
+	dss, err := loadReal(s)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig9b",
+		Title:   "Peak candidate memory on real datasets: naive flipping vs full Flipper",
+		Columns: []string{"Dataset", "Naive itemsets", "Naive MB", "Full itemsets", "Full MB"},
+		Notes: []string{
+			"itemset counts are exact; bytes are the engine's per-entry estimate",
+		},
+	}
+	for _, ds := range dss {
+		row := []string{ds.Name}
+		for _, pruning := range []core.PruningLevel{core.Flipping, core.Full} {
+			cfg := ds.Config()
+			cfg.Pruning = pruning
+			res, err := core.Mine(ds.DB, ds.Tree, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row,
+				fmt.Sprintf("%d", res.Stats.PeakCandidates),
+				fmt.Sprintf("%.2f", float64(res.Stats.PeakBytes)/(1<<20)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table4 reproduces the paper's Table 4: the number of flipping patterns
+// versus all positive and negative frequent patterns per dataset, at the
+// dataset's threshold row. The complete positive/negative totals require
+// the BASIC enumeration (cells hold every frequent itemset there).
+func Table4(s Scale) (*Table, error) {
+	dss, err := loadReal(s)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "table4",
+		Title:   "Flipping patterns vs all positive and negative patterns",
+		Columns: []string{"Dataset", "(γ,ε)", "θ profile", "Pos", "Neg", "Flips"},
+		Notes: []string{
+			"Pos/Neg counted by complete per-level enumeration (BASIC cells)",
+		},
+	}
+	for _, ds := range dss {
+		cfg := ds.Config()
+		cfg.Pruning = core.Basic
+		res, err := core.Mine(ds.DB, ds.Tree, cfg)
+		if err != nil {
+			return nil, err
+		}
+		thresholds := make([]string, len(ds.MinSup))
+		for i, v := range ds.MinSup {
+			thresholds[i] = fmt.Sprintf("%g", v)
+		}
+		t.Rows = append(t.Rows, []string{
+			ds.Name,
+			fmt.Sprintf("(%.2f,%.2f)", ds.Gamma, ds.Epsilon),
+			strings.Join(thresholds, "/"),
+			fmt.Sprintf("%d", res.Stats.PositiveItemsets),
+			fmt.Sprintf("%d", res.Stats.NegativeItemsets),
+			fmt.Sprintf("%d", len(res.Patterns)),
+		})
+	}
+	return t, nil
+}
+
+// Patterns reproduces the qualitative side of Figures 10–12: the planted
+// flipping patterns of each dataset simulator, as mined end to end.
+func Patterns(s Scale) (*Table, error) {
+	dss, err := loadReal(s)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig10-12",
+		Title:   "Qualitative flipping patterns per dataset (planted per Figures 10-12)",
+		Columns: []string{"Dataset", "Pattern", "Chain"},
+	}
+	for _, ds := range dss {
+		res, err := core.Mine(ds.DB, ds.Tree, ds.Config())
+		if err != nil {
+			return nil, err
+		}
+		for _, exp := range ds.Expected {
+			found := "NOT FOUND"
+			for _, p := range res.Patterns {
+				if len(p.Leaf) != 2 {
+					continue
+				}
+				a, b := ds.Tree.Name(p.Leaf[0]), ds.Tree.Name(p.Leaf[1])
+				if (a == exp.LeafA && b == exp.LeafB) || (a == exp.LeafB && b == exp.LeafA) {
+					var chain []string
+					for _, li := range p.Chain {
+						chain = append(chain, fmt.Sprintf("L%d %s %s (%.3f)",
+							li.Level, ds.Tree.FormatSet(li.Items), li.Label, li.Corr))
+					}
+					found = strings.Join(chain, " → ")
+					break
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				ds.Name,
+				fmt.Sprintf("{%s, %s}", exp.LeafA, exp.LeafB),
+				found,
+			})
+		}
+	}
+	return t, nil
+}
+
+// Table1 reproduces the paper's Table 1 / Example 2: the expectation-based
+// verdicts flip with the total transaction count while Kulczynski is
+// null-invariant.
+func Table1(Scale) (*Table, error) {
+	t := &Table{
+		ID:    "table1",
+		Title: "Expectation-based correlation instability (paper Table 1)",
+		Columns: []string{
+			"Pair", "sup(A)", "sup(B)", "sup(AB)", "N", "E[sup]", "Expectation verdict", "Kulc",
+		},
+	}
+	rows := []struct {
+		pair              string
+		supA, supB, supAB int64
+		n                 int64
+	}{
+		{"A,B", 1000, 1000, 400, 20000},
+		{"A,B", 1000, 1000, 400, 2000},
+		{"C,D", 200, 200, 4, 20000},
+		{"C,D", 200, 200, 4, 2000},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.pair,
+			fmt.Sprintf("%d", r.supA), fmt.Sprintf("%d", r.supB), fmt.Sprintf("%d", r.supAB),
+			fmt.Sprintf("%d", r.n),
+			fmt.Sprintf("%.0f", measure.ExpectedSupport(r.supA, r.supB, r.n)),
+			measure.ExpectationVerdict(r.supAB, r.supA, r.supB, r.n),
+			fmt.Sprintf("%.2f", measure.Kulczynski.Corr2(r.supAB, r.supA, r.supB)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the same supports are judged positive in DB1 (N=20,000) and negative in DB2 (N=2,000)")
+	return t, nil
+}

@@ -1,0 +1,252 @@
+// Package gen provides the synthetic-workload substrate of the paper's
+// Section 5.1: a re-implementation of the Srikant & Agrawal generalized
+// association-rule generator ("Mining Generalized Association Rules",
+// VLDB 1995) — the generator the paper uses for all scaling experiments —
+// plus a planted-flips generator with known ground truth that backs the
+// integration tests and the real-dataset simulators.
+//
+// Everything is deterministic given a seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/flipper-mining/flipper/internal/itemset"
+	"github.com/flipper-mining/flipper/internal/taxonomy"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// TaxonomyParams shapes a synthetic taxonomy. The paper's defaults: 10
+// level-1 categories ("roots"), fanout 5, height 4, ~1000 leaves.
+type TaxonomyParams struct {
+	// Roots is the number of level-1 categories.
+	Roots int
+	// Fanout is the number of children of every internal node.
+	Fanout int
+	// Height is the number of levels.
+	Height int
+	// MaxLeaves, when positive, trims the tree to approximately this many
+	// leaves by dropping trailing leaves (the paper's |I| = 1000 with
+	// 10 roots × fanout 5 × height 4 would otherwise give 1250).
+	MaxLeaves int
+	// Prefix namespaces node names so several trees can share a dictionary.
+	Prefix string
+}
+
+// DefaultTaxonomyParams returns the paper's synthetic defaults.
+func DefaultTaxonomyParams() TaxonomyParams {
+	return TaxonomyParams{Roots: 10, Fanout: 5, Height: 4, MaxLeaves: 1000, Prefix: "i"}
+}
+
+// BuildTaxonomy constructs the complete Roots × Fanout^(Height-1) tree.
+func BuildTaxonomy(p TaxonomyParams) (*taxonomy.Tree, error) {
+	if p.Roots < 1 || p.Fanout < 1 || p.Height < 1 {
+		return nil, fmt.Errorf("gen: invalid taxonomy params %+v", p)
+	}
+	b := taxonomy.NewBuilder(nil)
+	// The leaf quota is distributed evenly across roots so that trimming
+	// (the paper's |I| = 1000 over 10 categories) never drops a whole
+	// category: each root keeps the first quota leaves of its subtree.
+	quota := math.MaxInt
+	if p.MaxLeaves > 0 {
+		quota = p.MaxLeaves / p.Roots
+		if quota < 1 {
+			quota = 1
+		}
+	}
+	// Depth-first creation: name nodes by their path, e.g. i3.1.4.0. A node
+	// is only created while quota remains, and the first descendant chain of
+	// every created internal node reaches a leaf before the quota can drop,
+	// so the trimmed tree stays balanced.
+	leaves := 0
+	var build func(parent string, level int) bool
+	build = func(parent string, level int) bool {
+		for c := 0; c < p.Fanout; c++ {
+			if leaves >= quota {
+				return false
+			}
+			name := fmt.Sprintf("%s.%d", parent, c)
+			if err := b.AddEdge(parent, name); err != nil {
+				panic(err) // unique path names cannot conflict
+			}
+			if level == p.Height {
+				leaves++
+			} else if !build(name, level+1) {
+				return false
+			}
+		}
+		return true
+	}
+	for r := 0; r < p.Roots; r++ {
+		root := fmt.Sprintf("%s%d", p.Prefix, r)
+		b.AddRoot(root)
+		leaves = 0
+		if p.Height > 1 {
+			build(root, 2)
+		}
+	}
+	return b.Build()
+}
+
+// Params shapes a synthetic transaction database in the style of Srikant &
+// Agrawal. Field names follow the original generator's table.
+type Params struct {
+	// N is the number of transactions (paper default 100,000).
+	N int
+	// AvgWidth is the mean transaction width W (Poisson; paper default 5).
+	AvgWidth float64
+	// PatternCount is the size of the potentially-large itemset table |L|
+	// (paper default 2000).
+	PatternCount int
+	// AvgPatternLen is the mean size of a potentially-large itemset
+	// (original generator default 4).
+	AvgPatternLen float64
+	// CorruptionMean is the mean corruption level c (items dropped from a
+	// pattern instance; original default 0.5).
+	CorruptionMean float64
+	// Seed drives every random choice.
+	Seed int64
+}
+
+// DefaultParams returns the paper's synthetic defaults.
+func DefaultParams() Params {
+	return Params{
+		N:              100_000,
+		AvgWidth:       5,
+		PatternCount:   2000,
+		AvgPatternLen:  4,
+		CorruptionMean: 0.5,
+		Seed:           1,
+	}
+}
+
+// Generate produces a transaction database over the leaves of tree.
+//
+// Following the original generator: a table of PatternCount potentially
+// large itemsets is drawn first (sizes Poisson-distributed around
+// AvgPatternLen, items biased towards siblings of previously chosen items
+// to model intra-category affinity, weights exponentially distributed);
+// each transaction then draws patterns by weight, corrupts them by dropping
+// items, and fills up to its Poisson-distributed width.
+func Generate(tree *taxonomy.Tree, p Params) (*txdb.DB, error) {
+	if p.N < 0 {
+		return nil, fmt.Errorf("gen: negative N")
+	}
+	if p.AvgWidth <= 0 || p.AvgPatternLen <= 0 {
+		return nil, fmt.Errorf("gen: non-positive widths")
+	}
+	if p.PatternCount < 1 {
+		return nil, fmt.Errorf("gen: PatternCount < 1")
+	}
+	leaves := tree.Leaves()
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("gen: taxonomy has no leaves")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Potentially large itemsets with exponential weights.
+	type pattern struct {
+		items  itemset.Set
+		weight float64
+	}
+	patterns := make([]pattern, 0, p.PatternCount)
+	totalWeight := 0.0
+	for i := 0; i < p.PatternCount; i++ {
+		size := poisson(rng, p.AvgPatternLen-1) + 1
+		if size > len(leaves) {
+			size = len(leaves)
+		}
+		ids := make([]itemset.ID, 0, size)
+		for j := 0; j < size; j++ {
+			var next itemset.ID
+			if j > 0 && rng.Float64() < 0.5 {
+				// Bias towards a sibling of the previous item: intra-category
+				// affinity, as in the original generator's correlation knob.
+				sibs := tree.Children(tree.Parent(ids[len(ids)-1]))
+				next = sibs[rng.Intn(len(sibs))]
+			} else {
+				next = leaves[rng.Intn(len(leaves))]
+			}
+			ids = append(ids, next)
+		}
+		w := rng.ExpFloat64()
+		patterns = append(patterns, pattern{items: itemset.New(ids...), weight: w})
+		totalWeight += w
+	}
+	// Cumulative weights for O(log n) sampling.
+	cum := make([]float64, len(patterns))
+	acc := 0.0
+	for i, pat := range patterns {
+		acc += pat.weight / totalWeight
+		cum[i] = acc
+	}
+	pick := func() pattern {
+		x := rng.Float64()
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return patterns[lo]
+	}
+
+	db := txdb.New(tree.Dict())
+	buf := make([]itemset.ID, 0, 32)
+	for i := 0; i < p.N; i++ {
+		want := poisson(rng, p.AvgWidth-1) + 1
+		buf = buf[:0]
+		for len(buf) < want {
+			pat := pick()
+			// Corrupt: keep dropping items while a uniform draw stays below
+			// the pattern's corruption level.
+			c := clamp01(rng.NormFloat64()*0.1 + p.CorruptionMean)
+			kept := append([]itemset.ID(nil), pat.items...)
+			for len(kept) > 0 && rng.Float64() < c {
+				kept = append(kept[:0], kept[1:]...)
+			}
+			if len(kept) == 0 {
+				kept = append(kept, leaves[rng.Intn(len(leaves))])
+			}
+			buf = append(buf, kept...)
+		}
+		if len(buf) > want {
+			buf = buf[:want]
+		}
+		db.Add(buf...)
+	}
+	return db, nil
+}
+
+// poisson draws from a Poisson distribution with the given mean (Knuth's
+// method; means here are small).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,177 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+func TestBuildTaxonomyShape(t *testing.T) {
+	p := TaxonomyParams{Roots: 3, Fanout: 2, Height: 3, Prefix: "x"}
+	tr, err := BuildTaxonomy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 3 {
+		t.Fatalf("height = %d", tr.Height())
+	}
+	sizes := tr.LevelSizes()
+	if sizes[1] != 3 || sizes[2] != 6 || sizes[3] != 12 {
+		t.Errorf("level sizes = %v", sizes)
+	}
+	if !tr.IsBalanced() {
+		t.Error("complete tree should be balanced")
+	}
+}
+
+func TestBuildTaxonomyPaperDefaults(t *testing.T) {
+	tr, err := BuildTaxonomy(DefaultTaxonomyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 4 {
+		t.Fatalf("height = %d", tr.Height())
+	}
+	leaves := len(tr.Leaves())
+	// |I| trimmed to ~1000 as in the paper (10 roots × 5^3 = 1250 untrimmed).
+	if leaves < 990 || leaves > 1010 {
+		t.Errorf("leaves = %d, want ≈1000", leaves)
+	}
+	if got := len(tr.NodesAtLevel(1)); got != 10 {
+		t.Errorf("level-1 categories = %d", got)
+	}
+}
+
+func TestBuildTaxonomyTrimStaysBalanced(t *testing.T) {
+	// Trimming distributes the leaf quota evenly across roots (5/2 -> 2 per
+	// root) and must never leave a childless internal node behind.
+	p := TaxonomyParams{Roots: 2, Fanout: 3, Height: 3, MaxLeaves: 5, Prefix: "t"}
+	tr, err := BuildTaxonomy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Leaves()); got != 4 {
+		t.Errorf("trimmed leaves = %d, want 2 per root", got)
+	}
+	if !tr.IsBalanced() {
+		t.Error("trimmed tree must stay balanced")
+	}
+	if got := len(tr.NodesAtLevel(1)); got != 2 {
+		t.Errorf("roots = %d, want both kept", got)
+	}
+}
+
+func TestBuildTaxonomyRejectsBadParams(t *testing.T) {
+	for _, p := range []TaxonomyParams{
+		{Roots: 0, Fanout: 5, Height: 4},
+		{Roots: 5, Fanout: 0, Height: 4},
+		{Roots: 5, Fanout: 5, Height: 0},
+	} {
+		if _, err := BuildTaxonomy(p); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	tr, err := BuildTaxonomy(TaxonomyParams{Roots: 5, Fanout: 3, Height: 3, Prefix: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{N: 2000, AvgWidth: 5, PatternCount: 50, AvgPatternLen: 4, CorruptionMean: 0.5, Seed: 3}
+	db, err := Generate(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2000 {
+		t.Fatalf("N = %d", db.Len())
+	}
+	st, err := txdb.ComputeStats(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poisson(4)+1 has mean 5; duplicates inside a transaction shrink it a
+	// little. Accept a generous band.
+	if st.AvgWidth < 3.0 || st.AvgWidth > 6.0 {
+		t.Errorf("avg width = %v, want ≈5", st.AvgWidth)
+	}
+	if st.DistinctItems < 20 {
+		t.Errorf("distinct items = %d, too few", st.DistinctItems)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	tr, err := BuildTaxonomy(TaxonomyParams{Roots: 4, Fanout: 2, Height: 3, Prefix: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{N: 300, AvgWidth: 4, PatternCount: 30, AvgPatternLen: 3, CorruptionMean: 0.5, Seed: 9}
+	a, err := Generate(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.Tx(i).Equal(b.Tx(i)) {
+			t.Fatalf("transaction %d differs between identical seeds", i)
+		}
+	}
+	p.Seed = 10
+	c, err := Generate(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < a.Len() && same; i++ {
+		same = a.Tx(i).Equal(c.Tx(i))
+	}
+	if same {
+		t.Error("different seeds produced identical databases")
+	}
+}
+
+func TestGenerateParamValidation(t *testing.T) {
+	tr, err := BuildTaxonomy(TaxonomyParams{Roots: 2, Fanout: 2, Height: 2, Prefix: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{N: -1, AvgWidth: 5, PatternCount: 10, AvgPatternLen: 4},
+		{N: 10, AvgWidth: 0, PatternCount: 10, AvgPatternLen: 4},
+		{N: 10, AvgWidth: 5, PatternCount: 0, AvgPatternLen: 4},
+		{N: 10, AvgWidth: 5, PatternCount: 10, AvgPatternLen: 0},
+	}
+	for i, p := range bad {
+		if _, err := Generate(tr, p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const mean = 4.0
+	const n = 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, mean)
+	}
+	got := float64(sum) / n
+	if math.Abs(got-mean) > 0.1 {
+		t.Errorf("poisson mean = %v, want %v", got, mean)
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("non-positive mean must give 0")
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if clamp01(-0.5) != 0 || clamp01(1.5) != 1 || clamp01(0.25) != 0.25 {
+		t.Error("clamp01 wrong")
+	}
+}

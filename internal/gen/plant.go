@@ -1,0 +1,194 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/flipper-mining/flipper/internal/taxonomy"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// Planted flipping correlations with analytic guarantees.
+//
+// The paper's reality-check datasets (GROCERIES, CENSUS, MEDLINE) are not
+// redistributable, so the simulators in internal/datasets assemble
+// look-alike databases from planted flip blocks plus noise. Each planted
+// flip reserves two level-1 categories exclusively and emits transaction
+// blocks whose support ratios pin the Kulczynski value of the pair at every
+// level:
+//
+// Chain (+,−,+) over a 3-level taxonomy, scale s:
+//
+//	block BOTH (2s×):  {leafA, leafB}          — leaf pair always together
+//	block P   (20s×):  {sibA,  altLeafB}       — midA without midB, but A with B
+//	block Q   (20s×):  {sibB,  altLeafA}       — midB without midA, but A with B
+//
+// giving Kulc(leafA,leafB)=1, Kulc(midA,midB)=2/22≈0.091, Kulc(rootA,rootB)=1.
+//
+// Chain (−,+,−), scale s:
+//
+//	block BOTH (s×):    {leafA, leafB}
+//	block X   (12s×):   {leafA, sibB}          — mids together, leaves apart
+//	block Y   (12s×):   {sibA,  leafB}
+//	block AO  (vs×):    {altLeafA}              — root A without root B
+//	block BO  (vs×):    {altLeafB}
+//
+// giving Kulc(leafA,leafB)=1/13≈0.077, Kulc(midA,midB)=1,
+// Kulc(rootA,rootB)=25s/(25s+vs); v defaults to 250 so the value ≈0.091.
+//
+// Every block may carry filler items drawn from non-reserved categories;
+// fillers do not change any support that involves the reserved nodes.
+
+// ExpectedFlip records the ground truth of one planted flip for tests.
+type ExpectedFlip struct {
+	// LeafA and LeafB name the flipping pair at the deepest level.
+	LeafA, LeafB string
+	// Labels holds the planted chain from level 1 downward, using "+"/"-".
+	Labels []string
+	// MinLeafSupport is the leaf pair's co-occurrence count; thresholds at
+	// or below this keep the pattern frequent at every level.
+	MinLeafSupport int64
+}
+
+// FlipSpec3 plants one flipping pair in a 3-level taxonomy.
+type FlipSpec3 struct {
+	// RootA/RootB are the reserved level-1 categories.
+	RootA, RootB string
+	// MidA/MidB are the level-2 parents of the flipping pair; AltMidA/AltMidB
+	// are sibling level-2 nodes used by the contrast blocks.
+	MidA, MidB, AltMidA, AltMidB string
+	// LeafA/LeafB are the flipping pair; SibA/SibB their level-3 siblings;
+	// AltLeafA/AltLeafB live under the Alt mids.
+	LeafA, LeafB, SibA, SibB, AltLeafA, AltLeafB string
+	// LeafPositive selects chain (+,−,+) when true and (−,+,−) otherwise.
+	LeafPositive bool
+	// Scale multiplies all block counts (must be ≥ 1).
+	Scale int
+	// NegRootOnly overrides the per-side count of root-only transactions in
+	// the (−,+,−) chain; 0 means the default 250×Scale (root Kulc ≈ 0.098).
+	NegRootOnly int
+}
+
+// Register adds the spec's nine nodes to the taxonomy builder.
+func (s FlipSpec3) Register(b *taxonomy.Builder) error {
+	if s.Scale < 1 {
+		return fmt.Errorf("gen: FlipSpec3 scale %d < 1", s.Scale)
+	}
+	for _, path := range [][]string{
+		{s.RootA, s.MidA, s.LeafA},
+		{s.RootA, s.MidA, s.SibA},
+		{s.RootA, s.AltMidA, s.AltLeafA},
+		{s.RootB, s.MidB, s.LeafB},
+		{s.RootB, s.MidB, s.SibB},
+		{s.RootB, s.AltMidB, s.AltLeafB},
+	} {
+		if err := b.AddPath(path...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Emit appends the spec's transaction blocks to db. filler, when non-nil,
+// returns extra item names (from non-reserved categories) appended to each
+// emitted transaction. It returns the ground truth for verification.
+func (s FlipSpec3) Emit(db *txdb.DB, rng *rand.Rand, filler func(*rand.Rand) []string) ExpectedFlip {
+	emit := func(count int, names ...string) {
+		for i := 0; i < count; i++ {
+			tx := append([]string(nil), names...)
+			if filler != nil {
+				tx = append(tx, filler(rng)...)
+			}
+			db.AddNames(tx...)
+		}
+	}
+	if s.LeafPositive {
+		emit(2*s.Scale, s.LeafA, s.LeafB)
+		emit(20*s.Scale, s.SibA, s.AltLeafB)
+		emit(20*s.Scale, s.SibB, s.AltLeafA)
+		return ExpectedFlip{
+			LeafA: s.LeafA, LeafB: s.LeafB,
+			Labels:         []string{"+", "-", "+"},
+			MinLeafSupport: int64(2 * s.Scale),
+		}
+	}
+	rootOnly := s.NegRootOnly
+	if rootOnly == 0 {
+		rootOnly = 250 * s.Scale
+	}
+	emit(1*s.Scale, s.LeafA, s.LeafB)
+	emit(12*s.Scale, s.LeafA, s.SibB)
+	emit(12*s.Scale, s.SibA, s.LeafB)
+	emit(rootOnly, s.AltLeafA)
+	emit(rootOnly, s.AltLeafB)
+	return ExpectedFlip{
+		LeafA: s.LeafA, LeafB: s.LeafB,
+		Labels:         []string{"-", "+", "-"},
+		MinLeafSupport: int64(s.Scale),
+	}
+}
+
+// FlipSpec2 plants one flipping pair in a 2-level taxonomy (level 1 and
+// leaves). Chain (+,−): roots positively correlated, the leaf pair negative;
+// chain (−,+): the reverse.
+type FlipSpec2 struct {
+	RootA, RootB             string
+	LeafA, LeafB, SibA, SibB string
+	LeafPositive             bool
+	Scale                    int
+	// NegRootOnly as in FlipSpec3, for the (−,+) chain; default 250×Scale.
+	NegRootOnly int
+}
+
+// Register adds the spec's six nodes to the builder.
+func (s FlipSpec2) Register(b *taxonomy.Builder) error {
+	if s.Scale < 1 {
+		return fmt.Errorf("gen: FlipSpec2 scale %d < 1", s.Scale)
+	}
+	for _, path := range [][]string{
+		{s.RootA, s.LeafA}, {s.RootA, s.SibA},
+		{s.RootB, s.LeafB}, {s.RootB, s.SibB},
+	} {
+		if err := b.AddPath(path...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Emit appends the spec's blocks to db and returns the ground truth.
+func (s FlipSpec2) Emit(db *txdb.DB, rng *rand.Rand, filler func(*rand.Rand) []string) ExpectedFlip {
+	emit := func(count int, names ...string) {
+		for i := 0; i < count; i++ {
+			tx := append([]string(nil), names...)
+			if filler != nil {
+				tx = append(tx, filler(rng)...)
+			}
+			db.AddNames(tx...)
+		}
+	}
+	if s.LeafPositive {
+		// (−,+): leaves always together, roots mostly apart.
+		rootOnly := s.NegRootOnly
+		if rootOnly == 0 {
+			rootOnly = 250 * s.Scale
+		}
+		emit(2*s.Scale, s.LeafA, s.LeafB)
+		emit(rootOnly, s.SibA)
+		emit(rootOnly, s.SibB)
+		return ExpectedFlip{
+			LeafA: s.LeafA, LeafB: s.LeafB,
+			Labels:         []string{"-", "+"},
+			MinLeafSupport: int64(2 * s.Scale),
+		}
+	}
+	// (+,−): roots always together, leaves mostly apart.
+	emit(1*s.Scale, s.LeafA, s.LeafB)
+	emit(12*s.Scale, s.LeafA, s.SibB)
+	emit(12*s.Scale, s.SibA, s.LeafB)
+	return ExpectedFlip{
+		LeafA: s.LeafA, LeafB: s.LeafB,
+		Labels:         []string{"+", "-"},
+		MinLeafSupport: int64(s.Scale),
+	}
+}

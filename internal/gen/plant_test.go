@@ -1,0 +1,187 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/flipper-mining/flipper/internal/itemset"
+	"github.com/flipper-mining/flipper/internal/measure"
+	"github.com/flipper-mining/flipper/internal/taxonomy"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+func spec3(positive bool) FlipSpec3 {
+	return FlipSpec3{
+		RootA: "A", RootB: "B",
+		MidA: "A.m", MidB: "B.m", AltMidA: "A.alt", AltMidB: "B.alt",
+		LeafA: "A.m.l", LeafB: "B.m.l", SibA: "A.m.s", SibB: "B.m.s",
+		AltLeafA: "A.alt.l", AltLeafB: "B.alt.l",
+		LeafPositive: positive, Scale: 2,
+	}
+}
+
+// kulcOf measures the pair correlation at a level via brute-force counting.
+func kulcOf(t *testing.T, db *txdb.DB, tree *taxonomy.Tree, h int, nameA, nameB string) float64 {
+	t.Helper()
+	lv, err := txdb.Materialize(db, tree, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := tree.Dict().Lookup(nameA)
+	if !ok {
+		t.Fatalf("unknown node %q", nameA)
+	}
+	b, ok := tree.Dict().Lookup(nameB)
+	if !ok {
+		t.Fatalf("unknown node %q", nameB)
+	}
+	ga, _ := tree.AncestorAt(a, h)
+	gb, _ := tree.AncestorAt(b, h)
+	pair := itemset.New(ga, gb)
+	sup := lv.SupportOf(pair)
+	return measure.Kulczynski.Corr2(sup, lv.Support[ga], lv.Support[gb])
+}
+
+func TestFlipSpec3PositiveChainValues(t *testing.T) {
+	s := spec3(true)
+	b := taxonomy.NewBuilder(nil)
+	if err := s.Register(b); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := txdb.New(tree.Dict())
+	exp := s.Emit(db, rand.New(rand.NewSource(1)), nil)
+	if exp.LeafA != s.LeafA || exp.LeafB != s.LeafB {
+		t.Errorf("expected pair = %q,%q", exp.LeafA, exp.LeafB)
+	}
+	if len(exp.Labels) != 3 || exp.Labels[0] != "+" || exp.Labels[1] != "-" || exp.Labels[2] != "+" {
+		t.Errorf("labels = %v", exp.Labels)
+	}
+	// Analytic chain values: 1.0 / 2/22 / 1.0.
+	if got := kulcOf(t, db, tree, 1, s.LeafA, s.LeafB); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("level-1 kulc = %v, want 1.0", got)
+	}
+	if got := kulcOf(t, db, tree, 2, s.LeafA, s.LeafB); math.Abs(got-2.0/22) > 1e-9 {
+		t.Errorf("level-2 kulc = %v, want %v", got, 2.0/22)
+	}
+	if got := kulcOf(t, db, tree, 3, s.LeafA, s.LeafB); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("level-3 kulc = %v, want 1.0", got)
+	}
+	if exp.MinLeafSupport != 4 { // 2×Scale
+		t.Errorf("MinLeafSupport = %d", exp.MinLeafSupport)
+	}
+}
+
+func TestFlipSpec3NegativeChainValues(t *testing.T) {
+	s := spec3(false)
+	b := taxonomy.NewBuilder(nil)
+	if err := s.Register(b); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := txdb.New(tree.Dict())
+	exp := s.Emit(db, rand.New(rand.NewSource(1)), nil)
+	if got := exp.Labels; got[0] != "-" || got[1] != "+" || got[2] != "-" {
+		t.Errorf("labels = %v", got)
+	}
+	// Analytic values: 25/275, 1.0, 1/13.
+	if got := kulcOf(t, db, tree, 1, s.LeafA, s.LeafB); math.Abs(got-25.0/275) > 1e-9 {
+		t.Errorf("level-1 kulc = %v, want %v", got, 25.0/275)
+	}
+	if got := kulcOf(t, db, tree, 2, s.LeafA, s.LeafB); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("level-2 kulc = %v, want 1.0", got)
+	}
+	if got := kulcOf(t, db, tree, 3, s.LeafA, s.LeafB); math.Abs(got-1.0/13) > 1e-9 {
+		t.Errorf("level-3 kulc = %v, want %v", got, 1.0/13)
+	}
+}
+
+func TestFlipSpec2ChainValues(t *testing.T) {
+	for _, positive := range []bool{true, false} {
+		s := FlipSpec2{
+			RootA: "P", RootB: "Q",
+			LeafA: "P.l", LeafB: "Q.l", SibA: "P.s", SibB: "Q.s",
+			LeafPositive: positive, Scale: 3,
+		}
+		b := taxonomy.NewBuilder(nil)
+		if err := s.Register(b); err != nil {
+			t.Fatal(err)
+		}
+		tree, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := txdb.New(tree.Dict())
+		exp := s.Emit(db, rand.New(rand.NewSource(1)), nil)
+		l1 := kulcOf(t, db, tree, 1, s.LeafA, s.LeafB)
+		l2 := kulcOf(t, db, tree, 2, s.LeafA, s.LeafB)
+		if positive {
+			if exp.Labels[0] != "-" || exp.Labels[1] != "+" {
+				t.Errorf("labels = %v", exp.Labels)
+			}
+			// sup(AB)=2s, sup(A)=sup(B)=252s → Kulc = 2/252.
+			if math.Abs(l1-2.0/252) > 1e-9 || math.Abs(l2-1.0) > 1e-9 {
+				t.Errorf("positive spec: l1=%v l2=%v", l1, l2)
+			}
+		} else {
+			if exp.Labels[0] != "+" || exp.Labels[1] != "-" {
+				t.Errorf("labels = %v", exp.Labels)
+			}
+			if math.Abs(l1-1.0) > 1e-9 || math.Abs(l2-1.0/13) > 1e-9 {
+				t.Errorf("negative spec: l1=%v l2=%v", l1, l2)
+			}
+		}
+	}
+}
+
+func TestFlipSpecScaleValidation(t *testing.T) {
+	s := spec3(true)
+	s.Scale = 0
+	if err := s.Register(taxonomy.NewBuilder(nil)); err == nil {
+		t.Error("scale 0 accepted by FlipSpec3")
+	}
+	s2 := FlipSpec2{RootA: "a", RootB: "b", LeafA: "al", LeafB: "bl", SibA: "as", SibB: "bs"}
+	if err := s2.Register(taxonomy.NewBuilder(nil)); err == nil {
+		t.Error("scale 0 accepted by FlipSpec2")
+	}
+}
+
+func TestFillerDoesNotPerturbChains(t *testing.T) {
+	s := spec3(true)
+	b := taxonomy.NewBuilder(nil)
+	if err := s.Register(b); err != nil {
+		t.Fatal(err)
+	}
+	// A noise category supplies fillers.
+	if err := b.AddPath("noise", "noise.m", "noise.m.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPath("noise", "noise.m", "noise.m.2"); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := txdb.New(tree.Dict())
+	filler := func(rng *rand.Rand) []string {
+		if rng.Float64() < 0.5 {
+			return []string{"noise.m.1"}
+		}
+		return []string{"noise.m.1", "noise.m.2"}
+	}
+	s.Emit(db, rand.New(rand.NewSource(2)), filler)
+	if got := kulcOf(t, db, tree, 2, s.LeafA, s.LeafB); math.Abs(got-2.0/22) > 1e-9 {
+		t.Errorf("filler perturbed level-2 kulc: %v", got)
+	}
+	if got := kulcOf(t, db, tree, 3, s.LeafA, s.LeafB); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("filler perturbed level-3 kulc: %v", got)
+	}
+}

@@ -1,0 +1,69 @@
+package measure
+
+// Expectation-based correlation, implemented solely to reproduce the paper's
+// Example 2 / Table 1: these measures depend on the total transaction count N
+// and therefore flip their verdict when null transactions are added, which is
+// exactly why the paper rejects them for large sparse databases.
+
+// ExpectedSupport returns E[sup(AB)] = sup(A)/N · sup(B)/N · N under the
+// independence assumption.
+func ExpectedSupport(supA, supB, n int64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(supA) * float64(supB) / float64(n)
+}
+
+// Lift returns sup(AB)·N / (sup(A)·sup(B)); values above 1 are read as
+// positive correlation, below 1 as negative.
+func Lift(supAB, supA, supB, n int64) float64 {
+	if supA == 0 || supB == 0 {
+		return 0
+	}
+	return float64(supAB) * float64(n) / (float64(supA) * float64(supB))
+}
+
+// ExpectationVerdict classifies a pair the way an expectation-based measure
+// would: positive when the observed support exceeds the expected one,
+// negative when below, neutral on exact equality.
+func ExpectationVerdict(supAB, supA, supB, n int64) string {
+	e := ExpectedSupport(supA, supB, n)
+	switch {
+	case float64(supAB) > e:
+		return "positive"
+	case float64(supAB) < e:
+		return "negative"
+	default:
+		return "neutral"
+	}
+}
+
+// Chi2 returns the 2x2 chi-square statistic for items A and B, the companion
+// significance test usually paired with Lift.
+func Chi2(supAB, supA, supB, n int64) float64 {
+	if n == 0 {
+		return 0
+	}
+	// Contingency table: observed counts.
+	oAB := float64(supAB)
+	oAnotB := float64(supA - supAB)
+	oBnotA := float64(supB - supAB)
+	oNone := float64(n - supA - supB + supAB)
+	pA := float64(supA) / float64(n)
+	pB := float64(supB) / float64(n)
+	e := [4]float64{
+		pA * pB * float64(n),
+		pA * (1 - pB) * float64(n),
+		(1 - pA) * pB * float64(n),
+		(1 - pA) * (1 - pB) * float64(n),
+	}
+	o := [4]float64{oAB, oAnotB, oBnotA, oNone}
+	chi := 0.0
+	for i := range o {
+		if e[i] > 0 {
+			d := o[i] - e[i]
+			chi += d * d / e[i]
+		}
+	}
+	return chi
+}

@@ -1,0 +1,196 @@
+// Package measure implements the correlation measures of the paper's
+// Section 2 (Table 2): the five null-invariant measures — All Confidence,
+// Coherence, Cosine, Kulczynski and Max Confidence — which are generalized
+// means of the conditional probabilities P(A|ai) = sup(A)/sup(ai), plus the
+// expectation-based Lift family used only to reproduce the instability
+// demonstration of Example 2 / Table 1.
+//
+// All five null-invariant measures share two properties proven in the
+// paper's Section 3 and property-tested here:
+//
+//   - Theorem 1 (correlation upper bound): Corr(A) never exceeds the maximum
+//     Corr over A's (k-1)-subsets.
+//   - Theorem 2 / Corollary 2: a minimum-support item whose k-itemsets are
+//     all below γ cannot appear in any positive itemset of size ≥ k.
+//
+// These two properties are what makes correlation-based pruning possible for
+// measures that are not anti-monotonic (Kulczynski, Cosine, Max Confidence).
+package measure
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Measure selects one of the five null-invariant correlation measures.
+type Measure int8
+
+const (
+	// Kulczynski is the arithmetic mean of conditional probabilities — the
+	// paper's default: tolerant of unbalanced supports.
+	Kulczynski Measure = iota
+	// Cosine is the geometric mean.
+	Cosine
+	// AllConfidence is the minimum; it is anti-monotonic.
+	AllConfidence
+	// Coherence is the harmonic mean (the paper's re-definition of the
+	// Jaccard-style coherence, preserving its ordering — but not, contrary
+	// to the paper's side remark, its anti-monotonicity; see AntiMonotonic).
+	Coherence
+	// MaxConfidence is the maximum.
+	MaxConfidence
+
+	numMeasures = iota
+)
+
+// All lists every null-invariant measure, in ascending order of the
+// generalized mean each represents is NOT guaranteed here; use OrderedByMean.
+func All() []Measure {
+	return []Measure{AllConfidence, Coherence, Cosine, Kulczynski, MaxConfidence}
+}
+
+// OrderedByMean returns the measures sorted so that for any fixed itemset the
+// correlation values are non-decreasing along the slice:
+// AllConf ≤ Coherence ≤ Cosine ≤ Kulc ≤ MaxConf
+// (minimum ≤ harmonic ≤ geometric ≤ arithmetic ≤ maximum).
+func OrderedByMean() []Measure {
+	return []Measure{AllConfidence, Coherence, Cosine, Kulczynski, MaxConfidence}
+}
+
+// String implements fmt.Stringer with the paper's names.
+func (m Measure) String() string {
+	switch m {
+	case Kulczynski:
+		return "kulczynski"
+	case Cosine:
+		return "cosine"
+	case AllConfidence:
+		return "all_confidence"
+	case Coherence:
+		return "coherence"
+	case MaxConfidence:
+		return "max_confidence"
+	default:
+		return fmt.Sprintf("measure(%d)", int(m))
+	}
+}
+
+// Parse converts a name (as produced by String, case-insensitive, with "-"
+// accepted for "_", plus the common short alias "kulc") into a Measure.
+func Parse(name string) (Measure, error) {
+	switch strings.ReplaceAll(strings.ToLower(strings.TrimSpace(name)), "-", "_") {
+	case "kulczynski", "kulc":
+		return Kulczynski, nil
+	case "cosine":
+		return Cosine, nil
+	case "all_confidence", "allconf", "all":
+		return AllConfidence, nil
+	case "coherence":
+		return Coherence, nil
+	case "max_confidence", "maxconf", "max":
+		return MaxConfidence, nil
+	default:
+		return 0, fmt.Errorf("measure: unknown measure %q", name)
+	}
+}
+
+// Valid reports whether m is one of the defined measures.
+func (m Measure) Valid() bool { return m >= 0 && m < numMeasures }
+
+// NullInvariant reports whether the measure ignores null transactions. All
+// five defined measures are null-invariant; this exists so that future
+// expectation-based additions are kept out of the pruning machinery.
+func (m Measure) NullInvariant() bool { return m.Valid() }
+
+// AntiMonotonic reports whether adding an item can never increase the
+// measure. Only All Confidence qualifies.
+//
+// Reproduction finding: the paper asserts (proofs of Theorems 1–2) that
+// Coherence is anti-monotonic, which is true for the original Jaccard-style
+// coherence sup(A)/|union| but NOT for the paper's harmonic-mean
+// re-definition k·sup(A)/Σsup(ai): with sup(a)=sup(b)=7, sup(ab)=1 the
+// value is 2/14 ≈ 0.143, and adding c with sup(c)=4, sup(abc)=1 raises it
+// to 3/18 ≈ 0.167 (realizable as 1×{a,b,c}, 6×{a}, 6×{b}, 3×{c}). The
+// property tests exhibit such counterexamples. Theorems 1 and 2 themselves
+// still hold for the re-defined Coherence — they are what the engine relies
+// on — so no pruning in this module is affected.
+func (m Measure) AntiMonotonic() bool {
+	return m == AllConfidence
+}
+
+// Corr computes the measure for a k-itemset A given sup(A) and the k single
+// item supports. It returns 0 when supA is 0 and panics when any single
+// support is smaller than supA or non-positive, because the mining engine
+// can only reach that state through a counting bug.
+func (m Measure) Corr(supA int64, sups []int64) float64 {
+	if len(sups) == 0 {
+		return 0
+	}
+	if supA == 0 {
+		return 0
+	}
+	for _, s := range sups {
+		if s <= 0 || s < supA {
+			panic(fmt.Sprintf("measure: invalid supports supA=%d sups=%v", supA, sups))
+		}
+	}
+	k := float64(len(sups))
+	switch m {
+	case Kulczynski:
+		sum := 0.0
+		for _, s := range sups {
+			sum += 1 / float64(s)
+		}
+		return float64(supA) / k * sum
+	case Cosine:
+		// Geometric mean via logarithms to avoid overflow for large k.
+		logSum := 0.0
+		for _, s := range sups {
+			logSum += math.Log(float64(s))
+		}
+		return float64(supA) / math.Exp(logSum/k)
+	case AllConfidence:
+		maxSup := sups[0]
+		for _, s := range sups[1:] {
+			if s > maxSup {
+				maxSup = s
+			}
+		}
+		return float64(supA) / float64(maxSup)
+	case Coherence:
+		sum := int64(0)
+		for _, s := range sups {
+			sum += s
+		}
+		return k * float64(supA) / float64(sum)
+	case MaxConfidence:
+		minSup := sups[0]
+		for _, s := range sups[1:] {
+			if s < minSup {
+				minSup = s
+			}
+		}
+		return float64(supA) / float64(minSup)
+	default:
+		panic("measure: invalid measure " + m.String())
+	}
+}
+
+// Corr2 is the two-item convenience form.
+func (m Measure) Corr2(supAB, supA, supB int64) float64 {
+	return m.Corr(supAB, []int64{supA, supB})
+}
+
+// UpperBoundFromSubsets returns the Theorem-1 upper bound for a k-itemset
+// whose (k-1)-subset correlations are given: the maximum of the slice.
+// It returns 0 for an empty slice.
+func UpperBoundFromSubsets(subsetCorrs []float64) float64 {
+	ub := 0.0
+	for _, c := range subsetCorrs {
+		if c > ub {
+			ub = c
+		}
+	}
+	return ub
+}

@@ -1,0 +1,473 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const eps = 1e-12
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for _, m := range All() {
+		back, err := Parse(m.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", m.String(), err)
+		}
+		if back != m {
+			t.Errorf("Parse(String(%v)) = %v", m, back)
+		}
+	}
+	if _, err := Parse("kulc"); err != nil {
+		t.Error("alias kulc rejected")
+	}
+	if _, err := Parse("MAX-CONFIDENCE"); err != nil {
+		t.Error("case/dash variant rejected")
+	}
+	if _, err := Parse("lift"); err == nil {
+		t.Error("lift must not parse as a null-invariant measure")
+	}
+	if Measure(99).String() == "" {
+		t.Error("unknown measure String empty")
+	}
+}
+
+func TestCorrPairHandComputed(t *testing.T) {
+	// sup(A)=1000, sup(B)=250, sup(AB)=200:
+	// P(AB|A)=0.2, P(AB|B)=0.8
+	supAB, supA, supB := int64(200), int64(1000), int64(250)
+	cases := []struct {
+		m    Measure
+		want float64
+	}{
+		{AllConfidence, 0.2},
+		{Coherence, 2 * 200.0 / 1250.0}, // harmonic mean = 2*sAB*k-style: 2/(1/0.2+1/0.8) = 0.32
+		{Cosine, math.Sqrt(0.2 * 0.8)},  // 0.4
+		{Kulczynski, (0.2 + 0.8) / 2},   // 0.5
+		{MaxConfidence, 0.8},
+	}
+	for _, c := range cases {
+		if got := c.m.Corr2(supAB, supA, supB); !almost(got, c.want) {
+			t.Errorf("%v = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestCorrKItems(t *testing.T) {
+	// Three items with supports 10, 20, 40 and sup(A)=8.
+	sups := []int64{10, 20, 40}
+	supA := int64(8)
+	// Conditional probabilities: 0.8, 0.4, 0.2.
+	wantKulc := (0.8 + 0.4 + 0.2) / 3
+	wantCos := math.Cbrt(0.8 * 0.4 * 0.2)
+	wantAll := 0.2
+	wantMax := 0.8
+	wantCoh := 3.0 * 8 / (10 + 20 + 40)
+	if got := Kulczynski.Corr(supA, sups); !almost(got, wantKulc) {
+		t.Errorf("kulc = %v, want %v", got, wantKulc)
+	}
+	if got := Cosine.Corr(supA, sups); !almost(got, wantCos) {
+		t.Errorf("cosine = %v, want %v", got, wantCos)
+	}
+	if got := AllConfidence.Corr(supA, sups); !almost(got, wantAll) {
+		t.Errorf("allconf = %v, want %v", got, wantAll)
+	}
+	if got := MaxConfidence.Corr(supA, sups); !almost(got, wantMax) {
+		t.Errorf("maxconf = %v, want %v", got, wantMax)
+	}
+	if got := Coherence.Corr(supA, sups); !almost(got, wantCoh) {
+		t.Errorf("coherence = %v, want %v", got, wantCoh)
+	}
+}
+
+func TestCorrEdgeCases(t *testing.T) {
+	if got := Kulczynski.Corr(0, []int64{5, 5}); got != 0 {
+		t.Errorf("zero supA should give 0, got %v", got)
+	}
+	if got := Kulczynski.Corr(3, nil); got != 0 {
+		t.Errorf("empty sups should give 0, got %v", got)
+	}
+	// Identical supports: every measure equals sup(A)/sup(a).
+	for _, m := range All() {
+		if got := m.Corr(5, []int64{10, 10, 10}); !almost(got, 0.5) {
+			t.Errorf("%v with equal supports = %v, want 0.5", m, got)
+		}
+	}
+	// Perfect correlation: all equal to supA -> 1.0.
+	for _, m := range All() {
+		if got := m.Corr(7, []int64{7, 7}); !almost(got, 1.0) {
+			t.Errorf("%v perfect correlation = %v, want 1", m, got)
+		}
+	}
+}
+
+func TestCorrPanicsOnCorruptSupports(t *testing.T) {
+	for _, sups := range [][]int64{{0, 5}, {3, 5}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Corr(4, %v) did not panic", sups)
+				}
+			}()
+			Kulczynski.Corr(4, sups)
+		}()
+	}
+}
+
+func TestAntiMonotonicFlags(t *testing.T) {
+	want := map[Measure]bool{
+		AllConfidence: true,
+		Coherence:     false, // the paper's harmonic-mean re-definition; see AntiMonotonic
+		Cosine:        false,
+		Kulczynski:    false,
+		MaxConfidence: false,
+	}
+	for m, w := range want {
+		if m.AntiMonotonic() != w {
+			t.Errorf("%v.AntiMonotonic() = %v, want %v", m, m.AntiMonotonic(), w)
+		}
+		if !m.NullInvariant() {
+			t.Errorf("%v must be null-invariant", m)
+		}
+	}
+}
+
+// TestMeanOrdering verifies the paper's ordering
+// AllConf ≤ Coherence ≤ Cosine ≤ Kulc ≤ MaxConf on random support vectors.
+func TestMeanOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	order := OrderedByMean()
+	for trial := 0; trial < 5000; trial++ {
+		k := 2 + rng.Intn(4)
+		supA := int64(1 + rng.Intn(100))
+		sups := make([]int64, k)
+		for i := range sups {
+			sups[i] = supA + int64(rng.Intn(1000))
+		}
+		prev := -1.0
+		for _, m := range order {
+			v := m.Corr(supA, sups)
+			if v < prev-eps {
+				t.Fatalf("ordering violated at %v: %v < %v (supA=%d sups=%v)", m, v, prev, supA, sups)
+			}
+			prev = v
+		}
+	}
+}
+
+// syntheticDB is a tiny transaction matrix for measure-level property tests:
+// rows are transactions, columns are items.
+type syntheticDB struct {
+	rows [][]bool
+	k    int
+}
+
+func randDB(rng *rand.Rand, n, k int, density float64) *syntheticDB {
+	db := &syntheticDB{k: k}
+	for i := 0; i < n; i++ {
+		row := make([]bool, k)
+		for j := range row {
+			row[j] = rng.Float64() < density
+		}
+		db.rows = append(db.rows, row)
+	}
+	return db
+}
+
+// support returns sup over the item subset given by mask indexes.
+func (db *syntheticDB) support(items []int) int64 {
+	var sup int64
+	for _, row := range db.rows {
+		all := true
+		for _, j := range items {
+			if !row[j] {
+				all = false
+				break
+			}
+		}
+		if all {
+			sup++
+		}
+	}
+	return sup
+}
+
+// TestNullInvariance: appending transactions that contain none of the items
+// never changes any of the five measures, while Lift changes.
+func TestNullInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + rng.Intn(3)
+		db := randDB(rng, 50+rng.Intn(100), k, 0.3+rng.Float64()*0.4)
+		items := make([]int, k)
+		for i := range items {
+			items[i] = i
+		}
+		supA := db.support(items)
+		if supA == 0 {
+			continue
+		}
+		sups := make([]int64, k)
+		for i := range sups {
+			sups[i] = db.support([]int{i})
+		}
+		before := make([]float64, 0, 5)
+		for _, m := range All() {
+			before = append(before, m.Corr(supA, sups))
+		}
+		// Null transactions change N but none of the supports.
+		liftBefore := Lift(supA, sups[0], sups[1], int64(len(db.rows)))
+		liftAfter := Lift(supA, sups[0], sups[1], int64(len(db.rows))*10)
+		if almost(liftBefore, liftAfter) {
+			t.Fatalf("Lift unchanged by null transactions (%v)", liftBefore)
+		}
+		for i, m := range All() {
+			if got := m.Corr(supA, sups); !almost(got, before[i]) {
+				t.Fatalf("%v changed by null transactions", m)
+			}
+		}
+	}
+}
+
+// TestTheorem1UpperBound: for every measure and random database,
+// Corr(A) ≤ max over (k-1)-subsets of Corr(B). This is the paper's Theorem 1.
+func TestTheorem1UpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 400; trial++ {
+		k := 3 + rng.Intn(3) // 3..5 items so subsets are proper itemsets
+		db := randDB(rng, 30+rng.Intn(80), k, 0.25+rng.Float64()*0.5)
+		full := make([]int, k)
+		for i := range full {
+			full[i] = i
+		}
+		supA := db.support(full)
+		if supA == 0 {
+			continue
+		}
+		sups := make([]int64, k)
+		for i := range sups {
+			sups[i] = db.support([]int{i})
+		}
+		for _, m := range All() {
+			corrA := m.Corr(supA, sups)
+			best := 0.0
+			for drop := 0; drop < k; drop++ {
+				sub := make([]int, 0, k-1)
+				subSups := make([]int64, 0, k-1)
+				for i := 0; i < k; i++ {
+					if i != drop {
+						sub = append(sub, i)
+						subSups = append(subSups, sups[i])
+					}
+				}
+				c := m.Corr(db.support(sub), subSups)
+				if c > best {
+					best = c
+				}
+			}
+			if corrA > best+eps {
+				t.Fatalf("trial %d: Theorem 1 violated for %v: Corr(A)=%v > max subsets %v", trial, m, corrA, best)
+			}
+		}
+	}
+}
+
+// TestTheorem2 verifies the single-item bound: if every (k-1)-itemset
+// containing item a has Corr < γ and some other item in A has support
+// ≥ sup(a), then Corr(A) < γ.
+func TestTheorem2(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	checked := 0
+	for trial := 0; trial < 3000 && checked < 500; trial++ {
+		k := 3 + rng.Intn(2)
+		db := randDB(rng, 40+rng.Intn(60), k, 0.2+rng.Float64()*0.5)
+		full := make([]int, k)
+		for i := range full {
+			full[i] = i
+		}
+		supA := db.support(full)
+		if supA == 0 {
+			continue
+		}
+		sups := make([]int64, k)
+		for i := range sups {
+			sups[i] = db.support([]int{i})
+		}
+		// a = item 0; condition (2): some other item has support >= sup(a).
+		hasLarger := false
+		for i := 1; i < k; i++ {
+			if sups[i] >= sups[0] {
+				hasLarger = true
+			}
+		}
+		if !hasLarger {
+			continue
+		}
+		for _, m := range All() {
+			// Max corr over (k-1)-subsets that contain item 0.
+			maxSub := 0.0
+			for drop := 1; drop < k; drop++ {
+				sub := make([]int, 0, k-1)
+				subSups := make([]int64, 0, k-1)
+				for i := 0; i < k; i++ {
+					if i != drop {
+						sub = append(sub, i)
+						subSups = append(subSups, sups[i])
+					}
+				}
+				if c := m.Corr(db.support(sub), subSups); c > maxSub {
+					maxSub = c
+				}
+			}
+			gamma := maxSub + 1e-9 // premise: all those subsets are < gamma
+			if corrA := m.Corr(supA, sups); corrA >= gamma {
+				t.Fatalf("trial %d: Theorem 2 violated for %v: Corr(A)=%v ≥ γ=%v", trial, m, corrA, gamma)
+			}
+		}
+		checked++
+	}
+	if checked < 100 {
+		t.Fatalf("only %d configurations satisfied the premise; generator too narrow", checked)
+	}
+}
+
+func TestUpperBoundFromSubsets(t *testing.T) {
+	if got := UpperBoundFromSubsets(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := UpperBoundFromSubsets([]float64{0.2, 0.9, 0.5}); got != 0.9 {
+		t.Errorf("got %v, want 0.9", got)
+	}
+}
+
+// TestTable1Reproduction reproduces the paper's Table 1: the same support
+// counts classified as positive in DB1 (N=20,000) and negative in DB2
+// (N=2,000) by the expectation-based measure, while Kulc is stable.
+func TestTable1Reproduction(t *testing.T) {
+	type row struct {
+		supA, supB, supAB int64
+		n1, n2            int64
+		kulc              float64
+	}
+	rows := []row{
+		{1000, 1000, 400, 20000, 2000, 0.40},
+		{200, 200, 4, 20000, 2000, 0.02},
+	}
+	for i, r := range rows {
+		if got := Kulczynski.Corr2(r.supAB, r.supA, r.supB); !almost(got, r.kulc) {
+			t.Errorf("row %d: Kulc = %v, want %v", i, got, r.kulc)
+		}
+		if v := ExpectationVerdict(r.supAB, r.supA, r.supB, r.n1); v != "positive" {
+			t.Errorf("row %d DB1: expectation verdict = %v, want positive", i, v)
+		}
+		if v := ExpectationVerdict(r.supAB, r.supA, r.supB, r.n2); v != "negative" {
+			t.Errorf("row %d DB2: expectation verdict = %v, want negative", i, v)
+		}
+	}
+	// Expected supports as printed in Table 1.
+	if e := ExpectedSupport(1000, 1000, 20000); !almost(e, 50) {
+		t.Errorf("E DB1 row1 = %v, want 50", e)
+	}
+	if e := ExpectedSupport(1000, 1000, 2000); !almost(e, 500) {
+		t.Errorf("E DB2 row1 = %v, want 500", e)
+	}
+	if e := ExpectedSupport(200, 200, 20000); !almost(e, 2) {
+		t.Errorf("E DB1 row2 = %v, want 2", e)
+	}
+	if e := ExpectedSupport(200, 200, 2000); !almost(e, 20) {
+		t.Errorf("E DB2 row2 = %v, want 20", e)
+	}
+}
+
+func TestLiftAndChi2(t *testing.T) {
+	// Independent items: lift 1, chi2 0.
+	if got := Lift(25, 50, 50, 100); !almost(got, 1.0) {
+		t.Errorf("independent lift = %v", got)
+	}
+	if got := Chi2(25, 50, 50, 100); !almost(got, 0) {
+		t.Errorf("independent chi2 = %v", got)
+	}
+	// Perfectly dependent: lift = N/supA.
+	if got := Lift(50, 50, 50, 100); !almost(got, 2.0) {
+		t.Errorf("dependent lift = %v", got)
+	}
+	if got := Chi2(50, 50, 50, 100); !almost(got, 100) {
+		t.Errorf("dependent chi2 = %v, want 100", got)
+	}
+	if got := Lift(1, 0, 5, 10); got != 0 {
+		t.Errorf("lift with zero support = %v", got)
+	}
+	if got := ExpectedSupport(5, 5, 0); got != 0 {
+		t.Errorf("expected support with N=0 = %v", got)
+	}
+	if got := Chi2(1, 2, 2, 0); got != 0 {
+		t.Errorf("chi2 with N=0 = %v", got)
+	}
+}
+
+func BenchmarkKulc4(b *testing.B) {
+	sups := []int64{100, 200, 300, 400}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Kulczynski.Corr(90, sups)
+	}
+}
+
+func BenchmarkCosine4(b *testing.B) {
+	sups := []int64{100, 200, 300, 400}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Cosine.Corr(90, sups)
+	}
+}
+
+// TestAntiMonotonicityProperty: for All Confidence and Coherence, adding an
+// item never increases the measure (brute-force over random databases);
+// Kulc/Cosine/MaxConf are shown NOT anti-monotonic by counterexample
+// search — the paper's motivation for Theorems 1–2.
+func TestAntiMonotonicityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	counterexample := map[Measure]bool{}
+	for trial := 0; trial < 2000; trial++ {
+		k := 3 + rng.Intn(2)
+		db := randDB(rng, 30+rng.Intn(50), k, 0.2+rng.Float64()*0.6)
+		full := make([]int, k)
+		for i := range full {
+			full[i] = i
+		}
+		supA := db.support(full)
+		if supA == 0 {
+			continue
+		}
+		sups := make([]int64, k)
+		for i := range sups {
+			sups[i] = db.support([]int{i})
+		}
+		sub := full[:k-1]
+		subSups := sups[:k-1]
+		supB := db.support(sub)
+		for _, m := range All() {
+			corrSub := m.Corr(supB, subSups)
+			corrFull := m.Corr(supA, sups)
+			if corrFull > corrSub+eps {
+				if m.AntiMonotonic() {
+					t.Fatalf("%v claims anti-monotonicity but grew %v -> %v", m, corrSub, corrFull)
+				}
+				counterexample[m] = true
+			}
+		}
+	}
+	for _, m := range []Measure{Kulczynski, Cosine, MaxConfidence, Coherence} {
+		if !counterexample[m] {
+			t.Errorf("no growth counterexample found for %v; generator too narrow", m)
+		}
+	}
+	// The Coherence counterexample is the reproduction finding documented
+	// on Measure.AntiMonotonic: the paper's harmonic-mean re-definition is
+	// not anti-monotonic although the paper's proofs assume it is.
+	if counterexample[AllConfidence] {
+		t.Error("AllConfidence produced a growth counterexample")
+	}
+}

@@ -1,0 +1,50 @@
+package taxonomy
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: arbitrary input must never panic; successfully parsed trees
+// must validate and round-trip whenever their names are writable.
+func FuzzParse(f *testing.F) {
+	f.Add("beer\tdrinks\nstout\tbeer\n")
+	f.Add("# comment\nroot\n")
+	f.Add("a\tb\nb\tc\nc\ta\n") // cycle
+	f.Add("x\t\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tree, err := Parse(strings.NewReader(input), nil)
+		if err != nil {
+			return
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("parsed tree fails validation: %v\ninput: %q", err, input)
+		}
+		var sb strings.Builder
+		if _, err := tree.WriteTo(&sb); err != nil {
+			return // unrepresentable names
+		}
+		back, err := Parse(strings.NewReader(sb.String()), nil)
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v\noutput: %q", err, sb.String())
+		}
+		if back.Height() != tree.Height() || back.NodeCount() != tree.NodeCount() {
+			t.Fatalf("round trip changed shape: %s vs %s", back.Describe(), tree.Describe())
+		}
+	})
+}
+
+func TestWriteToRejectsUnrepresentableNames(t *testing.T) {
+	for _, name := range []string{"tab\there", "new\nline", "#hash", " padded "} {
+		b := NewBuilder(nil)
+		b.AddRoot(name)
+		tree, err := b.Build()
+		if err != nil {
+			t.Fatalf("Build with %q: %v", name, err)
+		}
+		var sb strings.Builder
+		if _, err := tree.WriteTo(&sb); err == nil {
+			t.Errorf("name %q serialized without error", name)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package taxonomy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/flipper-mining/flipper/internal/dict"
+	"github.com/flipper-mining/flipper/internal/itemset"
+)
+
+// The on-disk taxonomy format is one edge per line:
+//
+//	child <TAB> parent
+//
+// Level-1 nodes may appear alone on a line (no parent column). Blank lines
+// and lines starting with '#' are ignored. Names may contain spaces but not
+// tabs. The format round-trips through Parse/WriteTo.
+
+// Parse reads the edge-list format from r, assigning IDs through d (pass nil
+// for a fresh dictionary).
+func Parse(r io.Reader, d *dict.Dictionary) (*Tree, error) {
+	b := NewBuilder(d)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(raw, "\t")
+		switch len(parts) {
+		case 1:
+			b.AddRoot(strings.TrimSpace(parts[0]))
+		case 2:
+			child := strings.TrimSpace(parts[0])
+			parent := strings.TrimSpace(parts[1])
+			if child == "" || parent == "" {
+				return nil, fmt.Errorf("taxonomy: line %d: empty node name", lineNo)
+			}
+			if err := b.AddEdge(parent, child); err != nil {
+				return nil, fmt.Errorf("taxonomy: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("taxonomy: line %d: expected 'child<TAB>parent', got %d fields", lineNo, len(parts))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("taxonomy: read: %w", err)
+	}
+	return b.Build()
+}
+
+// WriteTo serializes the tree in the edge-list format understood by Parse.
+// Output is deterministic: nodes ordered by level then ID. Node names
+// containing tabs, newlines or a leading '#' cannot round-trip the format
+// and are rejected.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for h := 1; h <= t.height; h++ {
+		for _, id := range t.levels[h] {
+			if err := validateNodeName(t.Name(id)); err != nil {
+				return n, err
+			}
+			var line string
+			if p := t.nodes[id].parent; p == NoParent {
+				line = t.Name(id) + "\n"
+			} else {
+				line = t.Name(id) + "\t" + t.Name(p) + "\n"
+			}
+			wn, err := bw.WriteString(line)
+			n += int64(wn)
+			if err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// validateNodeName rejects node names the edge-list format cannot represent.
+func validateNodeName(name string) error {
+	if name == "" {
+		return fmt.Errorf("taxonomy: empty node name cannot round-trip")
+	}
+	if strings.ContainsAny(name, "\t\n\r") {
+		return fmt.Errorf("taxonomy: node name %q contains a field separator", name)
+	}
+	if strings.HasPrefix(strings.TrimSpace(name), "#") {
+		return fmt.Errorf("taxonomy: node name %q would parse as a comment", name)
+	}
+	if name != strings.TrimSpace(name) {
+		return fmt.Errorf("taxonomy: node name %q has surrounding whitespace", name)
+	}
+	return nil
+}
+
+// WriteDOT emits a Graphviz rendering of the tree (or, for large trees, of
+// the top maxDepth levels; pass 0 for the full tree). Used to generate the
+// documentation figures.
+func (t *Tree) WriteDOT(w io.Writer, maxDepth int) error {
+	if maxDepth <= 0 || maxDepth > t.height {
+		maxDepth = t.height
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph taxonomy {")
+	fmt.Fprintln(bw, "  rankdir=TB;")
+	fmt.Fprintln(bw, "  node [shape=box, fontsize=10];")
+	for h := 1; h <= maxDepth; h++ {
+		for _, id := range t.levels[h] {
+			fmt.Fprintf(bw, "  n%d [label=%q];\n", id, t.Name(id))
+			if p := t.nodes[id].parent; p != NoParent {
+				fmt.Fprintf(bw, "  n%d -> n%d;\n", p, id)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// Describe returns a short human-readable summary, e.g.
+// "taxonomy: height 3, 142 nodes (9 level-1, 118 leaves), balanced".
+func (t *Tree) Describe() string {
+	balance := "balanced"
+	if !t.IsBalanced() {
+		balance = "unbalanced"
+		if t.extend {
+			balance = "unbalanced (leaf-copy extended)"
+		}
+	}
+	return fmt.Sprintf("taxonomy: height %d, %d nodes (%d level-1, %d leaves), %s",
+		t.height, t.NodeCount(), len(t.levels[1]), len(t.leafAt), balance)
+}
+
+// LevelSizes returns the node count per level, indexed 1..Height.
+func (t *Tree) LevelSizes() []int {
+	out := make([]int, t.height+1)
+	for h := 1; h <= t.height; h++ {
+		out[h] = len(t.levels[h])
+	}
+	return out
+}
+
+// SortNodesByName returns the given node IDs sorted by their names; useful
+// for deterministic human-facing output.
+func (t *Tree) SortNodesByName(ids []itemset.ID) []itemset.ID {
+	out := append([]itemset.ID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return t.Name(out[i]) < t.Name(out[j]) })
+	return out
+}

@@ -1,0 +1,95 @@
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/flipper-mining/flipper/internal/itemset"
+)
+
+// Extend returns a view of the tree with leaf-copy extension enabled — the
+// paper's Figure 3 variant B. A leaf whose depth is less than the tree
+// height answers for itself at every deeper level, so every abstraction level
+// 1..H is total over the item universe. The original tree is unchanged.
+func (t *Tree) Extend() *Tree {
+	if t.extend {
+		return t
+	}
+	c := &Tree{
+		dict:   t.dict,
+		nodes:  t.nodes,
+		member: t.member,
+		levels: t.levels,
+		height: t.height,
+		leafAt: t.leafAt,
+		extend: true,
+	}
+	c.buildAncestorTable()
+	return c
+}
+
+// Truncate implements the paper's Figure 3 variant A: it keeps only the given
+// levels (ascending, each within 1..Height) and rewires parent edges across
+// the removed levels. Nodes whose own level is dropped disappear; the
+// deepest kept level becomes the new leaf level.
+//
+// Because transactions reference original leaves, Truncate also returns a
+// leaf mapping from every original leaf to its representative in the new
+// tree (its ancestor at the deepest kept level), which txdb.DB.MapLeaves
+// applies to a database. Original leaves with no ancestor at the deepest
+// kept level (possible in unbalanced trees without extension) are absent
+// from the map and should be dropped from transactions.
+func (t *Tree) Truncate(levels []int) (*Tree, map[itemset.ID]itemset.ID, error) {
+	if len(levels) == 0 {
+		return nil, nil, fmt.Errorf("taxonomy: Truncate needs at least one level")
+	}
+	sorted := append([]int(nil), levels...)
+	sort.Ints(sorted)
+	for i, h := range sorted {
+		if h < 1 || h > t.height {
+			return nil, nil, fmt.Errorf("taxonomy: Truncate level %d out of range 1..%d", h, t.height)
+		}
+		if i > 0 && sorted[i-1] == h {
+			return nil, nil, fmt.Errorf("taxonomy: Truncate level %d repeated", h)
+		}
+	}
+	b := NewBuilder(t.dict)
+	for i, h := range sorted {
+		for _, id := range t.NodesAtLevel(h) {
+			name := t.Name(id)
+			if i == 0 {
+				b.AddRoot(name)
+				continue
+			}
+			p, ok := t.AncestorAt(id, sorted[i-1])
+			if !ok {
+				// Shallow leaf with no ancestor at the previous kept level;
+				// only possible without extension. Skip it.
+				continue
+			}
+			if p == id {
+				// Leaf-copy stand-in: the node already exists at the
+				// shallower kept level; do not create a self-edge.
+				continue
+			}
+			if err := b.AddEdge(t.Name(p), name); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	nt, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	if t.extend {
+		nt = nt.Extend()
+	}
+	deepest := sorted[len(sorted)-1]
+	leafMap := make(map[itemset.ID]itemset.ID)
+	for _, leaf := range t.Leaves() {
+		if a, ok := t.AncestorAt(leaf, deepest); ok {
+			leafMap[leaf] = a
+		}
+	}
+	return nt, leafMap, nil
+}

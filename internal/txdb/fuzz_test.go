@@ -1,0 +1,62 @@
+package txdb
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadBaskets: arbitrary input must never panic, and every successfully
+// parsed database must round-trip (write → re-read → identical widths and
+// names) whenever its names are writable.
+func FuzzReadBaskets(f *testing.F) {
+	f.Add("beer, diapers\nmilk\n-\n")
+	f.Add("# comment\n\n")
+	f.Add("a,b,c\na\n")
+	f.Add("x")
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := ReadBaskets(strings.NewReader(input), nil)
+		if err != nil {
+			return // malformed input rejected is fine
+		}
+		var sb strings.Builder
+		if err := db.WriteBaskets(&sb); err != nil {
+			return // names unrepresentable in the format
+		}
+		back, err := ReadBaskets(strings.NewReader(sb.String()), nil)
+		if err != nil {
+			t.Fatalf("re-read of own output failed: %v\noutput: %q", err, sb.String())
+		}
+		if back.Len() != db.Len() {
+			t.Fatalf("round trip changed transaction count %d -> %d", db.Len(), back.Len())
+		}
+		for i := 0; i < db.Len(); i++ {
+			a, b := db.Tx(i), back.Tx(i)
+			if a.K() != b.K() {
+				t.Fatalf("tx %d width %d -> %d", i, a.K(), b.K())
+			}
+			for j := range a {
+				if db.Dict().Name(a[j]) != back.Dict().Name(b[j]) {
+					t.Fatalf("tx %d item %d name changed", i, j)
+				}
+			}
+		}
+	})
+}
+
+func TestWriteBasketsRejectsUnrepresentableNames(t *testing.T) {
+	cases := [][]string{
+		{"has,comma"},
+		{"has\nnewline"},
+		{"#comment-like"},
+		{" padded "},
+		{"-"},
+	}
+	for _, names := range cases {
+		db := New(nil)
+		db.AddNames(names...)
+		var sb strings.Builder
+		if err := db.WriteBaskets(&sb); err == nil {
+			t.Errorf("name %q serialized without error", names[0])
+		}
+	}
+}

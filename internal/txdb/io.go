@@ -1,0 +1,182 @@
+package txdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/flipper-mining/flipper/internal/dict"
+	"github.com/flipper-mining/flipper/internal/itemset"
+)
+
+// The basket text format is one transaction per line, item names separated
+// by commas (names may contain spaces, e.g. "canned beer"). Blank lines are
+// empty transactions unless they are comments ('#' prefix); a lone "-"
+// denotes an explicitly empty transaction for round-trip fidelity.
+
+// ReadBaskets parses the basket format from r into an in-memory DB, writing
+// IDs through d (nil for a fresh dictionary).
+func ReadBaskets(r io.Reader, d *dict.Dictionary) (*DB, error) {
+	db := New(d)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "" || line == "-" {
+			db.Add()
+			continue
+		}
+		parts := strings.Split(line, ",")
+		ids := make([]itemset.ID, 0, len(parts))
+		for _, p := range parts {
+			name := strings.TrimSpace(p)
+			if name == "" {
+				return nil, fmt.Errorf("txdb: line %d: empty item name", lineNo)
+			}
+			ids = append(ids, db.dict.ID(name))
+		}
+		db.Add(ids...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("txdb: read: %w", err)
+	}
+	return db, nil
+}
+
+// WriteBaskets serializes the database in the basket format. Item names
+// containing the format's structural characters (commas, newlines, carriage
+// returns, or a leading '#'/'-') cannot round-trip and are rejected.
+func (db *DB) WriteBaskets(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, tx := range db.tx {
+		if len(tx) == 0 {
+			if _, err := bw.WriteString("-\n"); err != nil {
+				return err
+			}
+			continue
+		}
+		for i, id := range tx {
+			name := db.dict.Name(id)
+			if err := validateBasketName(name); err != nil {
+				return err
+			}
+			if i > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(name); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// validateBasketName rejects item names that the basket text format cannot
+// represent unambiguously.
+func validateBasketName(name string) error {
+	if name == "" || name == "-" {
+		return fmt.Errorf("txdb: item name %q cannot round-trip the basket format", name)
+	}
+	if strings.ContainsAny(name, ",\n\r") {
+		return fmt.Errorf("txdb: item name %q contains a basket separator", name)
+	}
+	if strings.HasPrefix(strings.TrimSpace(name), "#") {
+		return fmt.Errorf("txdb: item name %q would parse as a comment", name)
+	}
+	if name != strings.TrimSpace(name) {
+		return fmt.Errorf("txdb: item name %q has surrounding whitespace", name)
+	}
+	return nil
+}
+
+// FileSource is a Source that re-reads a basket file on every Scan, keeping
+// memory usage independent of database size (the disk-resident mode of the
+// paper's experiments). The dictionary is populated on the first pass and
+// then frozen: later passes must not meet unknown items.
+type FileSource struct {
+	path string
+	dict *dict.Dictionary
+	n    int
+	init bool
+}
+
+// OpenFile creates a FileSource over path with dictionary d (nil for fresh).
+// The file is validated (and the dictionary and transaction count populated)
+// by one immediate pass.
+func OpenFile(path string, d *dict.Dictionary) (*FileSource, error) {
+	if d == nil {
+		d = dict.New()
+	}
+	fs := &FileSource{path: path, dict: d}
+	if err := fs.Scan(func(itemset.Set) error { return nil }); err != nil {
+		return nil, err
+	}
+	fs.init = true
+	return fs, nil
+}
+
+// Dict returns the source's dictionary.
+func (fs *FileSource) Dict() *dict.Dictionary { return fs.dict }
+
+// Len returns the number of transactions counted on the first pass.
+func (fs *FileSource) Len() int { return fs.n }
+
+// Scan implements Source by streaming the file.
+func (fs *FileSource) Scan(fn func(tx itemset.Set) error) error {
+	f, err := os.Open(fs.path)
+	if err != nil {
+		return fmt.Errorf("txdb: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	count := 0
+	var ids []itemset.ID
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		ids = ids[:0]
+		if line != "" && line != "-" {
+			for _, p := range strings.Split(line, ",") {
+				name := strings.TrimSpace(p)
+				if name == "" {
+					return fmt.Errorf("txdb: %s: empty item name", fs.path)
+				}
+				if fs.init {
+					id, ok := fs.dict.Lookup(name)
+					if !ok {
+						return fmt.Errorf("txdb: %s: item %q appeared after the first pass", fs.path, name)
+					}
+					ids = append(ids, id)
+				} else {
+					ids = append(ids, fs.dict.ID(name))
+				}
+			}
+		}
+		count++
+		if err := fn(itemset.New(ids...)); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("txdb: read: %w", err)
+	}
+	if !fs.init {
+		fs.n = count
+	}
+	return nil
+}

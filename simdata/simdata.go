@@ -1,0 +1,58 @@
+// Package simdata exposes the repository's dataset simulators through the
+// public API: the worked example of the paper's Figure 4 and the three
+// reality-check simulators (GROCERIES, CENSUS, MEDLINE) with the paper's
+// published flipping patterns planted in them.
+//
+// The original datasets are not redistributable; DESIGN.md documents how
+// each simulator preserves the properties the paper's evaluation depends
+// on. All simulators are deterministic given a seed.
+package simdata
+
+import (
+	"github.com/flipper-mining/flipper/internal/datasets"
+	"github.com/flipper-mining/flipper/internal/gen"
+)
+
+// Dataset bundles a simulated database, its taxonomy, the paper's
+// thresholds for it, and the planted ground truth.
+type Dataset = datasets.Dataset
+
+// ExpectedFlip records one planted flipping pattern.
+type ExpectedFlip = gen.ExpectedFlip
+
+// PaperToy returns the ten-transaction worked example of the paper's
+// Figure 4; its only flipping pattern is {a11, b11}.
+func PaperToy() *Dataset { return datasets.PaperToy() }
+
+// Groceries simulates the GROCERIES dataset (9,800 × scale transactions,
+// 3-level store taxonomy, the patterns of Figure 10 planted).
+func Groceries(scale float64, seed int64) (*Dataset, error) {
+	return datasets.Groceries(scale, seed)
+}
+
+// Census simulates the CENSUS dataset (32,000 × scale records, 2-level
+// attribute hierarchies, the patterns of Figure 11 planted).
+func Census(scale float64, seed int64) (*Dataset, error) {
+	return datasets.Census(scale, seed)
+}
+
+// Medline simulates the MEDLINE dataset (640,000 × scale citations, 3-level
+// MeSH-like topic tree, the patterns of Figure 12 planted).
+func Medline(scale float64, seed int64) (*Dataset, error) {
+	return datasets.Medline(scale, seed)
+}
+
+// Movies simulates the paper's motivating MovieLens example (Example 1,
+// Figure 2a): 6,000 × scale users' favorite movies over a genre taxonomy,
+// with the Big Country × High Noon flip planted.
+func Movies(scale float64, seed int64) (*Dataset, error) {
+	return datasets.Movies(scale, seed)
+}
+
+// ByName builds a simulator by its paper name (case-insensitive).
+func ByName(name string, scale float64, seed int64) (*Dataset, error) {
+	return datasets.ByName(name, scale, seed)
+}
+
+// Names lists the three reality-check simulators in the paper's order.
+func Names() []string { return datasets.Names() }

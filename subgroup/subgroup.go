@@ -1,0 +1,26 @@
+// Package subgroup exposes the discriminative-correlation extension through
+// the public API: correlations whose sign inside a sub-group (the
+// transactions containing a context itemset) contrasts with their sign in
+// the whole database — the first extension sketched in the paper's
+// future-work section. See the examples/subgroups program for a walkthrough.
+package subgroup
+
+import (
+	"github.com/flipper-mining/flipper/internal/contrast"
+	"github.com/flipper-mining/flipper/internal/itemset"
+	"github.com/flipper-mining/flipper/internal/taxonomy"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// Config parameterizes a discriminative-correlation search.
+type Config = contrast.Config
+
+// Finding is one discriminative correlation, with both populations' values.
+type Finding = contrast.Finding
+
+// Discriminative finds all pairs at Config.Level whose correlation label in
+// the sub-group selected by the context itemset contrasts with their label
+// in the whole database. Findings are ordered by descending correlation gap.
+func Discriminative(src txdb.Source, tree *taxonomy.Tree, context itemset.Set, cfg Config) ([]Finding, error) {
+	return contrast.Discriminative(src, tree, context, cfg)
+}
