@@ -7,7 +7,7 @@
 //	        -gamma 0.3 -epsilon 0.1 -minsup 0.01,0.001,0.0005,0.0001 \
 //	        [-measure kulczynski] [-pruning full] [-strategy scan|tidlist|auto] \
 //	        [-topk 0] [-target-patterns 0] [-stream] [-stats] \
-//	        [-json] [-csv patterns.csv]
+//	        [-json] [-json-api] [-csv patterns.csv]
 //
 // The taxonomy file holds one "child<TAB>parent" edge per line; the basket
 // file one transaction per line with comma-separated item names. -minsup
@@ -16,7 +16,10 @@
 // -target-patterns auto-tunes ε (the paper's threshold workflow): the most
 // selective ε still yielding at least that many patterns is used. The
 // default output is one block per pattern with the full correlation chain;
-// -json emits name-resolved JSON and -csv writes one row per chain level.
+// -json emits name-resolved JSON, -json-api the full result envelope
+// (pattern count, patterns, run statistics) in exactly the shape the
+// flipperd service returns for completed mine jobs, and -csv writes one row
+// per chain level.
 package main
 
 import (
@@ -46,6 +49,7 @@ func main() {
 		extend   = flag.Bool("extend", true, "leaf-copy extend unbalanced taxonomies (paper Fig. 3 variant B)")
 		stats    = flag.Bool("stats", false, "print run statistics to stderr")
 		asJSON   = flag.Bool("json", false, "emit patterns as JSON")
+		asAPI    = flag.Bool("json-api", false, "emit the flipperd result envelope (patterns + stats) as JSON")
 		csvPath  = flag.String("csv", "", "also write patterns to a CSV file (one row per chain level)")
 	)
 	flag.Parse()
@@ -124,11 +128,16 @@ func main() {
 		}
 		res = r
 	}
-	if *asJSON {
+	switch {
+	case *asAPI:
+		if err := res.WriteAPIJSON(os.Stdout, tree); err != nil {
+			fail(err)
+		}
+	case *asJSON:
 		if err := res.WriteJSON(os.Stdout, tree); err != nil {
 			fail(err)
 		}
-	} else {
+	default:
 		fmt.Printf("%d flipping pattern(s)\n\n", len(res.Patterns))
 		for _, p := range res.Patterns {
 			fmt.Print(p.Format(tree))

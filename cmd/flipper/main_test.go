@@ -103,6 +103,36 @@ func TestCLIJSONAndStream(t *testing.T) {
 	}
 }
 
+func TestCLIAPIJSON(t *testing.T) {
+	bin := buildCmd(t)
+	tax, db := writeToy(t)
+	out, err := exec.Command(bin,
+		"-tax", tax, "-db", db, "-json-api",
+		"-gamma", "0.6", "-epsilon", "0.35", "-minsup", "0.1,0.1,0.1",
+	).Output()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// The envelope is the flipperd service's completed-mine result shape.
+	var res struct {
+		PatternCount int              `json:"pattern_count"`
+		Patterns     []map[string]any `json:"patterns"`
+		Stats        map[string]any   `json:"stats"`
+	}
+	if err := json.Unmarshal(out, &res); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out)
+	}
+	if res.PatternCount != 1 || len(res.Patterns) != 1 {
+		t.Fatalf("pattern_count = %d", res.PatternCount)
+	}
+	if res.Stats["transactions"] != 10.0 {
+		t.Errorf("stats = %v", res.Stats)
+	}
+	if _, ok := res.Stats["candidates_counted"]; !ok {
+		t.Errorf("stats missing core counters: %v", res.Stats)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	bin := buildCmd(t)
 	tax, db := writeToy(t)

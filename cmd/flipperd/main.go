@@ -1,0 +1,107 @@
+// Command flipperd serves flipping-correlation mining over HTTP: an async
+// job queue with a bounded worker pool and an LRU result cache over a
+// registry of named datasets.
+//
+// Usage:
+//
+//	flipperd -data DIR [-addr :8080] [-workers 2] [-queue 64] [-cache 128]
+//	         [-history 1000] [-stream]
+//
+// The data directory holds one subdirectory per dataset, each with a
+// taxonomy.tsv (child<TAB>parent edges) and a baskets.txt (one transaction
+// per line, comma-separated item names) — exactly what flipgen writes:
+//
+//	flipgen -out data/groceries dataset -name groceries
+//	flipperd -data data
+//
+// With -stream, basket files stay on disk and are re-read on every counting
+// pass (the paper's disk-resident mode); otherwise each dataset is
+// materialized into memory once at startup.
+//
+// API (JSON; see docs/ARCHITECTURE.md):
+//
+//	POST /v1/jobs          {"dataset":"groceries","config":{"epsilon":0.2}}
+//	GET  /v1/jobs/{id}     poll status; result envelope appears when done
+//	GET  /v1/datasets      registered datasets
+//	GET  /v1/healthz       liveness
+//	GET  /v1/stats         cache hit rate, queue depth, per-job stats
+//
+// Identical submissions are served from the cache (or coalesced onto the
+// in-flight job), so re-issued mines and ε-sweeps cost one computation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/flipper-mining/flipper/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dataDir = flag.String("data", "", "data directory (one subdirectory per dataset)")
+		workers = flag.Int("workers", 2, "mining worker pool size")
+		queue   = flag.Int("queue", 64, "max queued jobs (further submissions get 503)")
+		cache   = flag.Int("cache", 128, "result cache capacity in entries (0 disables)")
+		history = flag.Int("history", 1000, "max completed jobs kept pollable (older ones are pruned)")
+		stream  = flag.Bool("stream", false, "disk-resident mode: re-read basket files on every pass")
+	)
+	flag.Parse()
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "flipperd: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reg := service.NewRegistry()
+	names, err := reg.LoadDir(*dataDir, *stream)
+	if err != nil {
+		log.Fatalf("flipperd: %v", err)
+	}
+	if len(names) == 0 {
+		log.Fatalf("flipperd: no datasets in %s (want subdirectories with taxonomy.tsv + baskets.txt)", *dataDir)
+	}
+	for _, info := range reg.List() {
+		log.Printf("flipperd: dataset %q: %d tx, height %d, %d nodes (stream=%v)",
+			info.Name, info.Transactions, info.Height, info.Nodes, info.Stream)
+	}
+
+	srv := service.NewServer(reg, service.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cache,
+		JobHistory: *history,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("flipperd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("flipperd: shutdown: %v", err)
+		}
+		srv.Close()
+	}()
+
+	log.Printf("flipperd: listening on %s (%d workers, queue %d, cache %d)",
+		*addr, *workers, *queue, *cache)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("flipperd: %v", err)
+	}
+	<-done
+}

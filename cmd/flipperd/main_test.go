@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildCmd compiles this command into a temp dir and returns the binary
+// path. Skipped in -short mode.
+func buildCmd(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("daemon integration test")
+	}
+	bin := filepath.Join(t.TempDir(), "flipperd")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+const toyTaxonomy = "a1\ta\na11\ta1\na12\ta1\na2\ta\na21\ta2\na22\ta2\n" +
+	"b1\tb\nb11\tb1\nb12\tb1\nb2\tb\nb21\tb2\nb22\tb2\n"
+
+const toyBaskets = `a11, a22, b11, b22
+a11, a21, b11
+a12, a21
+a12, a22, b21
+a12, a22, b21
+a12, a21, b22
+a21, b12
+b12, b21, b22
+b12, b21
+a22, b12, b22
+`
+
+// writeDataDir lays out data/toy/{taxonomy.tsv, baskets.txt}.
+func writeDataDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "toy")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "taxonomy.tsv"), []byte(toyTaxonomy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "baskets.txt"), []byte(toyBaskets), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// freePort asks the kernel for an unused TCP port.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+// startDaemon launches flipperd and waits for /v1/healthz.
+func startDaemon(t *testing.T, bin, dataDir string, extra ...string) string {
+	t.Helper()
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	args := append([]string{"-addr", addr, "-data", dataDir}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return base
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("flipperd did not become healthy")
+	return ""
+}
+
+func postJob(t *testing.T, base, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var v map[string]any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, raw)
+	}
+	return resp.StatusCode, v
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestDaemonEndToEnd is the acceptance flow: start the server, submit the
+// same mine twice, and require the second to be a cache hit (visible in
+// /v1/stats) with byte-identical patterns.
+func TestDaemonEndToEnd(t *testing.T) {
+	bin := buildCmd(t)
+	base := startDaemon(t, bin, writeDataDir(t))
+
+	ds := getJSON(t, base+"/v1/datasets")
+	datasets, _ := ds["datasets"].([]any)
+	if len(datasets) != 1 {
+		t.Fatalf("datasets = %v", ds)
+	}
+
+	body := `{"dataset": "toy", "config": {"gamma": 0.6, "epsilon": 0.35, "min_sup": [0.1, 0.1, 0.1]}}`
+	status, first := postJob(t, base, body)
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("first submit: %d %v", status, first)
+	}
+	id, _ := first["id"].(string)
+
+	var firstResult string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j := getJSON(t, base+"/v1/jobs/"+id)
+		if j["status"] == "done" {
+			raw, _ := json.Marshal(j["result"].(map[string]any)["patterns"])
+			firstResult = string(raw)
+			break
+		}
+		if j["status"] == "failed" || time.Now().After(deadline) {
+			t.Fatalf("job: %v", j)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(firstResult, "a11") || !strings.Contains(firstResult, "b11") {
+		t.Fatalf("patterns missing the toy flip: %s", firstResult)
+	}
+
+	status, second := postJob(t, base, body)
+	if status != http.StatusOK || second["cache_hit"] != true || second["status"] != "done" {
+		t.Fatalf("second submit not a cache hit: %d %v", status, second)
+	}
+	raw, _ := json.Marshal(second["result"].(map[string]any)["patterns"])
+	if string(raw) != firstResult {
+		t.Errorf("cache hit patterns differ:\n%s\nvs\n%s", raw, firstResult)
+	}
+
+	stats := getJSON(t, base+"/v1/stats")
+	cache, _ := stats["cache"].(map[string]any)
+	if cache["hits"] != 1.0 || cache["misses"] != 1.0 {
+		t.Errorf("cache stats = %v, want 1 hit / 1 miss", cache)
+	}
+	queue, _ := stats["queue"].(map[string]any)
+	if queue["mines_run"] != 1.0 {
+		t.Errorf("queue stats = %v, want one mine", queue)
+	}
+}
+
+func TestDaemonStreamMode(t *testing.T) {
+	bin := buildCmd(t)
+	base := startDaemon(t, bin, writeDataDir(t), "-stream")
+	body := `{"dataset": "toy", "config": {"gamma": 0.6, "epsilon": 0.35, "min_sup": [0.1, 0.1, 0.1]}}`
+	status, v := postJob(t, base, body)
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("submit: %d %v", status, v)
+	}
+	id, _ := v["id"].(string)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j := getJSON(t, base+"/v1/jobs/"+id)
+		if j["status"] == "done" {
+			res, _ := j["result"].(map[string]any)
+			if res["pattern_count"] != 1.0 {
+				t.Fatalf("stream-mode result: %v", res["pattern_count"])
+			}
+			return
+		}
+		if j["status"] == "failed" || time.Now().After(deadline) {
+			t.Fatalf("job: %v", j)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestDaemonRequiresData(t *testing.T) {
+	bin := buildCmd(t)
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Error("flipperd without -data should fail")
+	}
+	if err := exec.Command(bin, "-data", t.TempDir()).Run(); err == nil {
+		t.Error("flipperd with an empty data dir should fail")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/flipper-mining/flipper
+
+go 1.24

@@ -122,40 +122,40 @@ func ParseCountStrategy(s string) (CountStrategy, error) {
 type Config struct {
 	// Measure is the null-invariant correlation measure (default Kulczynski,
 	// as in the paper's experiments).
-	Measure measure.Measure
+	Measure measure.Measure `json:"measure"`
 	// Gamma is the positive-correlation threshold γ (label positive when
 	// Corr ≥ γ).
-	Gamma float64
+	Gamma float64 `json:"gamma"`
 	// Epsilon is the negative-correlation threshold ε (label negative when
 	// Corr ≤ ε). Must be strictly below Gamma.
-	Epsilon float64
+	Epsilon float64 `json:"epsilon"`
 	// MinSup holds per-level minimum supports as fractions of the number of
 	// transactions, indexed by level-1 (MinSup[0] is level 1). Length must
 	// equal the taxonomy height. Ignored when MinSupAbs is set.
-	MinSup []float64
+	MinSup []float64 `json:"min_sup,omitempty"`
 	// MinSupAbs optionally holds per-level absolute minimum supports.
-	MinSupAbs []int64
+	MinSupAbs []int64 `json:"min_sup_abs,omitempty"`
 	// Pruning selects the pruning level (default Full).
-	Pruning PruningLevel
+	Pruning PruningLevel `json:"pruning"`
 	// Strategy selects the support-counting implementation.
-	Strategy CountStrategy
+	Strategy CountStrategy `json:"strategy"`
 	// MaxK caps the itemset size explored; 0 means bounded only by the data
 	// (max transaction width and level-1 fanout).
-	MaxK int
+	MaxK int `json:"max_k,omitempty"`
 	// Parallelism is the number of counting workers; 0 means GOMAXPROCS.
-	Parallelism int
+	Parallelism int `json:"parallelism,omitempty"`
 	// Materialize keeps per-level generalized views of the database in
 	// memory (with duplicate transactions merged). Disable to stream from
 	// the source on every scan, trading time for memory — the paper's
 	// disk-resident mode. CountTIDList requires materialized views.
-	Materialize bool
+	Materialize bool `json:"materialize"`
 	// KeepCellStats records per-cell statistics in the result.
-	KeepCellStats bool
+	KeepCellStats bool `json:"keep_cell_stats,omitempty"`
 	// TopK, when positive, sorts patterns by descending flip gap (the
 	// smallest |Corr(h) − Corr(h+1)| along the chain) and keeps the K
 	// "most flipping" ones — the extension sketched in the paper's
 	// future-work section.
-	TopK int
+	TopK int `json:"top_k,omitempty"`
 }
 
 // DefaultConfig returns the paper's default synthetic-experiment settings
@@ -180,6 +180,14 @@ func DefaultConfig(height int) Config {
 		Strategy:    CountScan,
 		Materialize: true,
 	}
+}
+
+// Validate checks the configuration against a taxonomy of the given height
+// and a database of n transactions without running a mine — the early
+// rejection path for services that accept configurations over the wire.
+func (c *Config) Validate(height, n int) error {
+	_, err := c.validate(height, n)
+	return err
 }
 
 // validate checks the configuration against a taxonomy of the given height

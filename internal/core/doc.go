@@ -8,7 +8,10 @@ Theorem 3) and single-item based pruning (SIBP, Theorem 2 / Corollary 2) —
 reproduce the four variants of the paper's evaluation.
 
 The rest of this comment is an algorithm walkthrough mapping the engine
-onto the paper; start at Mine in engine.go and read alongside.
+onto the paper; start at Mine in engine.go and read alongside. For the
+repository-level view — how this engine relates to the facade, the txdb
+and taxonomy substrate, and the flipperd serving layer above it — see
+docs/ARCHITECTURE.md.
 
 # The search space (paper §4, Figure 6)
 

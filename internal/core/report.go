@@ -14,41 +14,26 @@ import (
 // and the experiment harness use these; they are part of the public surface
 // through the facade.
 
-// patternJSON is the name-resolved JSON form of a pattern.
-type patternJSON struct {
-	Leaf  []string    `json:"leaf"`
-	Gap   float64     `json:"gap"`
-	Chain []levelJSON `json:"chain"`
-}
-
-type levelJSON struct {
-	Level   int      `json:"level"`
-	Items   []string `json:"items"`
-	Support int64    `json:"support"`
-	Corr    float64  `json:"corr"`
-	Label   string   `json:"label"`
-}
-
 // WriteJSON writes the result's patterns as a JSON array with item names
-// resolved through the taxonomy.
+// resolved through the taxonomy (the wire form of json.go's PatternJSON;
+// use WriteAPIJSON for the full envelope with stats).
 func (r *Result) WriteJSON(w io.Writer, tree *taxonomy.Tree) error {
-	out := make([]patternJSON, 0, len(r.Patterns))
-	for _, p := range r.Patterns {
-		pj := patternJSON{Leaf: nameSlice(tree, p.Leaf), Gap: p.Gap}
-		for _, li := range p.Chain {
-			pj.Chain = append(pj.Chain, levelJSON{
-				Level:   li.Level,
-				Items:   nameSlice(tree, li.Items),
-				Support: li.Support,
-				Corr:    li.Corr,
-				Label:   li.Label.String(),
-			})
-		}
-		out = append(out, pj)
+	out := make([]PatternJSON, 0, len(r.Patterns))
+	for i := range r.Patterns {
+		out = append(out, r.Patterns[i].JSON(tree))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// WriteAPIJSON writes the full ResultJSON envelope — pattern count, patterns
+// and run statistics — the same shape the flipperd service returns for
+// completed mine jobs.
+func (r *Result) WriteAPIJSON(w io.Writer, tree *taxonomy.Tree) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.JSON(tree))
 }
 
 // WriteCSV writes one row per (pattern, level): pattern id, leaf itemset,

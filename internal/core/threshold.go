@@ -16,8 +16,8 @@ import (
 
 // EpsilonPoint is one step of an ε sweep.
 type EpsilonPoint struct {
-	Epsilon  float64
-	Patterns int
+	Epsilon  float64 `json:"epsilon"`
+	Patterns int     `json:"patterns"`
 }
 
 // EpsilonSweep mines with each ε in the given list (every value must be

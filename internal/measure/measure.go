@@ -18,6 +18,7 @@
 package measure
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -93,6 +94,29 @@ func Parse(name string) (Measure, error) {
 	default:
 		return 0, fmt.Errorf("measure: unknown measure %q", name)
 	}
+}
+
+// MarshalJSON encodes the measure by its canonical name, so configurations
+// serialize readably and survive renumbering of the constants.
+func (m Measure) MarshalJSON() ([]byte, error) {
+	if !m.Valid() {
+		return nil, fmt.Errorf("measure: cannot marshal invalid measure %d", int(m))
+	}
+	return []byte(`"` + m.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts any spelling Parse accepts.
+func (m *Measure) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return fmt.Errorf("measure: %w", err)
+	}
+	v, err := Parse(name)
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
 }
 
 // Valid reports whether m is one of the defined measures.

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func payload(i int) CachedResult {
+	return CachedResult{Payload: json.RawMessage(fmt.Sprintf(`{"n":%d}`, i)), Patterns: i}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", payload(1))
+	c.Put("b", payload(2))
+	if _, ok := c.Get("a"); !ok { // promotes a
+		t.Fatal("a missing")
+	}
+	c.Put("c", payload(3)) // evicts b, the least recently used
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted, want resident", k)
+		}
+	}
+	s := c.Stats()
+	if s.Size != 2 || s.Capacity != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCacheRePutRefreshes(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", payload(1))
+	c.Put("b", payload(2))
+	c.Put("a", payload(9)) // refresh: a becomes most recent
+	c.Put("c", payload(3)) // evicts b
+	got, ok := c.Get("a")
+	if !ok || got.Patterns != 9 {
+		t.Errorf("a = %+v ok=%v, want refreshed value", got, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction after a's refresh")
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	c := NewCache(4)
+	if s := c.Stats(); s.HitRate != 0 {
+		t.Errorf("empty cache hit rate = %v", s.HitRate)
+	}
+	c.Put("a", payload(1))
+	c.Get("a")
+	c.Get("a")
+	c.Get("missing")
+	c.Get("missing")
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 2 || s.HitRate != 0.5 {
+		t.Errorf("stats = %+v, want 2/2 and rate 0.5", s)
+	}
+}
+
+func TestCacheZeroCapacityDisables(t *testing.T) {
+	c := NewCache(0)
+	c.Put("a", payload(1))
+	if _, ok := c.Get("a"); ok {
+		t.Error("zero-capacity cache stored an entry")
+	}
+	if s := c.Stats(); s.Size != 0 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}

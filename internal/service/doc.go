@@ -1,0 +1,41 @@
+/*
+Package service is the serving layer behind the flipperd binary: it turns
+the in-process mining engine (internal/core) into a long-running HTTP
+service with an async job queue and a result cache.
+
+Three pieces compose into a Server:
+
+  - Registry: named taxonomy/basket datasets, loaded once from a data
+    directory in the flipgen layout (one subdirectory per dataset holding
+    taxonomy.tsv + baskets.txt). Datasets are either materialized into
+    memory at load time or, in streaming mode, left on disk behind a
+    txdb.FileSource that re-reads the basket file on every counting pass.
+  - Queue: a bounded worker pool running core.Mine / core.EpsilonSweep.
+    Submissions are deduplicated two ways: identical work already queued or
+    running is coalesced onto the existing job (single-flight, so N
+    identical submissions trigger one mine), and identical work finished
+    earlier is answered from the cache without queueing at all. Completed
+    jobs stay pollable up to a history cap, beyond which the oldest are
+    pruned with their payloads, keeping a long-running daemon's memory
+    bounded.
+  - Cache: an LRU over completed results keyed by (dataset, kind,
+    core.Config.CanonicalKey, sweep ε-list). The canonical key covers
+    exactly the fields that change the mined output, so permuted JSON,
+    differing parallelism, or differing instrumentation flags still hit.
+    Cached payloads are the stored result bytes, which makes repeated
+    answers byte-identical.
+
+The cache is what makes the paper's own workflow cheap: threshold setting
+is an ε-sweep that re-mines the same dataset many times, and consecutive
+sweeps share every point that did not change.
+
+The HTTP surface (all JSON, see docs/ARCHITECTURE.md for examples):
+
+	POST /v1/jobs          submit a mine or sweep; 200 done (cache hit) or 202 queued
+	GET  /v1/jobs/{id}     job status, and the result envelope once done
+	GET  /v1/jobs          all jobs without result payloads
+	GET  /v1/datasets      registered datasets with default configurations
+	GET  /v1/healthz       liveness
+	GET  /v1/stats         cache hit rate, queue depth, per-job core stats
+*/
+package service

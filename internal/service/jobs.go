@@ -1,0 +1,457 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/flipper-mining/flipper/internal/core"
+)
+
+// JobKind selects what a job computes.
+type JobKind string
+
+const (
+	// JobMine runs core.Mine once.
+	JobMine JobKind = "mine"
+	// JobSweep runs core.EpsilonSweep over a list of ε values.
+	JobSweep JobKind = "sweep"
+)
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+const (
+	StatusQueued  JobStatus = "queued"
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	StatusFailed  JobStatus = "failed"
+)
+
+// ErrQueueFull is returned by Submit when the bounded queue cannot accept
+// another job; HTTP maps it to 503.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// Job is one unit of mining work. Fields are written by the queue under its
+// lock; read snapshots through Queue.Snapshot or Job view methods.
+type Job struct {
+	ID       string
+	Kind     JobKind
+	Dataset  string
+	Config   core.Config
+	Epsilons []float64 // sweep only
+
+	Status   JobStatus
+	CacheHit bool
+	Err      string
+	Result   json.RawMessage // set when Status is done
+	Stats    *core.StatsJSON // mine only, set when Status is done
+
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+
+	key  string
+	ds   *Dataset
+	done chan struct{}
+}
+
+// JobView is the wire form of a job.
+type JobView struct {
+	ID        string          `json:"id"`
+	Kind      JobKind         `json:"kind"`
+	Dataset   string          `json:"dataset"`
+	Config    core.Config     `json:"config"`
+	Epsilons  []float64       `json:"epsilons,omitempty"`
+	Status    JobStatus       `json:"status"`
+	CacheHit  bool            `json:"cache_hit"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	Created   time.Time       `json:"created"`
+	Started   *time.Time      `json:"started,omitempty"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	ElapsedNS int64           `json:"elapsed_ns,omitempty"`
+}
+
+// mineResult is the payload of a completed mine job (core.ResultJSON) and
+// sweepResult the payload of a completed sweep job.
+type sweepResult struct {
+	Points []core.EpsilonPoint `json:"points"`
+}
+
+// Queue runs jobs on a bounded worker pool with a single-flight guarantee:
+// while a job for some (dataset, kind, config) key is queued or running,
+// identical submissions return that same job instead of enqueueing another
+// mine. Completed results land in the Cache, so later identical submissions
+// come back instantly as already-done jobs flagged CacheHit.
+type Queue struct {
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string        // job IDs in submission order
+	inflight map[string]*Job // job key → queued-or-running job
+	ch       chan *Job
+	cache    *Cache
+	wg       sync.WaitGroup
+	closed   bool
+	nextID   uint64
+	workers  int
+	history  int // max completed jobs retained; older ones are pruned
+
+	minesRun  atomic.Int64
+	sweepsRun atomic.Int64
+}
+
+// NewQueue starts workers goroutines consuming a queue of at most depth
+// pending jobs, writing results through cache. At most history completed
+// (done or failed) jobs are retained for polling; when the limit is
+// exceeded the oldest completed jobs — and their result payloads — are
+// dropped, keeping a long-running daemon's memory bounded. Queued and
+// running jobs are never pruned.
+func NewQueue(workers, depth, history int, cache *Cache) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if history < 1 {
+		history = 1
+	}
+	q := &Queue{
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		ch:       make(chan *Job, depth),
+		cache:    cache,
+		workers:  workers,
+		history:  history,
+	}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Close stops accepting submissions and waits for running jobs to drain.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	close(q.ch)
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
+// jobKey is the cache/single-flight identity of a piece of work: dataset,
+// kind, the canonical configuration key, and (for sweeps) the sorted ε list.
+// A sweep overrides cfg.Epsilon at every point, so the base ε is normalized
+// out of sweep keys — otherwise identical sweeps differing only in the
+// irrelevant base ε would miss the cache.
+func jobKey(dataset string, kind JobKind, cfg *core.Config, epsilons []float64) string {
+	if kind == JobSweep {
+		c := *cfg
+		c.Epsilon = 0
+		cfg = &c
+	}
+	var b strings.Builder
+	b.WriteString(dataset)
+	b.WriteByte('|')
+	b.WriteString(string(kind))
+	b.WriteByte('|')
+	b.WriteString(cfg.CanonicalKey())
+	if kind == JobSweep {
+		sorted := append([]float64(nil), epsilons...)
+		sort.Float64s(sorted)
+		b.WriteString("|eps=")
+		for i, e := range sorted {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatFloat(e, 'g', -1, 64))
+		}
+	}
+	return b.String()
+}
+
+// Submit enqueues work and returns its job. Three outcomes:
+//
+//   - cache hit: a fresh job already in StatusDone, flagged CacheHit, whose
+//     Result bytes are identical to the first computation's;
+//   - coalesced: an identical job is queued or running, and that same job
+//     is returned (no new mine is triggered);
+//   - enqueued: a new queued job, or ErrQueueFull when the bounded queue
+//     has no room.
+func (q *Queue) Submit(d *Dataset, kind JobKind, cfg core.Config, epsilons []float64) (*Job, error) {
+	key := jobKey(d.Name, kind, &cfg, epsilons)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, errors.New("service: queue closed")
+	}
+	if j, ok := q.inflight[key]; ok {
+		return j, nil
+	}
+	now := time.Now()
+	j := &Job{
+		Kind:     kind,
+		Dataset:  d.Name,
+		Config:   cfg,
+		Epsilons: epsilons,
+		Created:  now,
+		key:      key,
+		ds:       d,
+		done:     make(chan struct{}),
+	}
+	if cached, ok := q.cache.Get(key); ok {
+		j.Status = StatusDone
+		j.CacheHit = true
+		j.Result = cached.Payload
+		j.Started, j.Finished = now, now
+		close(j.done)
+		q.register(j)
+		return j, nil
+	}
+	j.Status = StatusQueued
+	select {
+	case q.ch <- j:
+	default:
+		return nil, ErrQueueFull
+	}
+	q.inflight[key] = j
+	q.register(j)
+	return j, nil
+}
+
+// register assigns the next ID and indexes the job. Caller holds q.mu.
+func (q *Queue) register(j *Job) {
+	q.nextID++
+	j.ID = fmt.Sprintf("job-%06d", q.nextID)
+	q.jobs[j.ID] = j
+	q.order = append(q.order, j.ID)
+	q.pruneLocked()
+}
+
+// pruneLocked drops the oldest completed jobs while more than history of
+// them are retained. Caller holds q.mu.
+func (q *Queue) pruneLocked() {
+	completed := 0
+	for _, id := range q.order {
+		if s := q.jobs[id].Status; s == StatusDone || s == StatusFailed {
+			completed++
+		}
+	}
+	for i := 0; completed > q.history && i < len(q.order); {
+		id := q.order[i]
+		if s := q.jobs[id].Status; s == StatusDone || s == StatusFailed {
+			delete(q.jobs, id)
+			q.order = append(q.order[:i], q.order[i+1:]...)
+			completed--
+			continue
+		}
+		i++
+	}
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for j := range q.ch {
+		q.run(j)
+	}
+}
+
+// run executes one job and finalizes it.
+func (q *Queue) run(j *Job) {
+	q.mu.Lock()
+	j.Status = StatusRunning
+	j.Started = time.Now()
+	q.mu.Unlock()
+
+	var (
+		payload  []byte
+		stats    *core.StatsJSON
+		patterns int
+		err      error
+	)
+	switch j.Kind {
+	case JobMine:
+		q.minesRun.Add(1)
+		var res *core.Result
+		res, err = core.Mine(j.ds.Src, j.ds.Tree, j.Config)
+		if err == nil {
+			rj := res.JSON(j.ds.Tree)
+			stats = &rj.Stats
+			patterns = rj.PatternCount
+			payload, err = json.Marshal(rj)
+		}
+	case JobSweep:
+		q.sweepsRun.Add(1)
+		var points []core.EpsilonPoint
+		points, err = core.EpsilonSweep(j.ds.Src, j.ds.Tree, j.Config, j.Epsilons)
+		if err == nil {
+			patterns = len(points)
+			payload, err = json.Marshal(sweepResult{Points: points})
+		}
+	default:
+		err = fmt.Errorf("service: unknown job kind %q", j.Kind)
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j.Finished = time.Now()
+	if err != nil {
+		j.Status = StatusFailed
+		j.Err = err.Error()
+	} else {
+		j.Status = StatusDone
+		j.Result = payload
+		j.Stats = stats
+		q.cache.Put(j.key, CachedResult{Payload: payload, Patterns: patterns})
+	}
+	delete(q.inflight, j.key)
+	q.pruneLocked()
+	close(j.done)
+}
+
+// Wait blocks until the job leaves the queue (done or failed), or the
+// timeout elapses; it reports whether the job finished.
+func (q *Queue) Wait(j *Job, timeout time.Duration) bool {
+	select {
+	case <-j.done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Get returns a job's current state as a wire view.
+func (q *Queue) Get(id string) (JobView, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return q.viewLocked(j), true
+}
+
+// List returns every job in submission order, newest last, without result
+// payloads (fetch an individual job for its result).
+func (q *Queue) List() []JobView {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]JobView, 0, len(q.order))
+	for _, id := range q.order {
+		v := q.viewLocked(q.jobs[id])
+		v.Result = nil
+		out = append(out, v)
+	}
+	return out
+}
+
+// viewLocked snapshots a job. Caller holds q.mu.
+func (q *Queue) viewLocked(j *Job) JobView {
+	v := JobView{
+		ID:       j.ID,
+		Kind:     j.Kind,
+		Dataset:  j.Dataset,
+		Config:   j.Config,
+		Epsilons: j.Epsilons,
+		Status:   j.Status,
+		CacheHit: j.CacheHit,
+		Error:    j.Err,
+		Result:   j.Result,
+		Created:  j.Created,
+	}
+	if !j.Started.IsZero() {
+		t := j.Started
+		v.Started = &t
+	}
+	if !j.Finished.IsZero() {
+		t := j.Finished
+		v.Finished = &t
+		v.ElapsedNS = j.Finished.Sub(j.Started).Nanoseconds()
+	}
+	return v
+}
+
+// QueueStats is the wire form of the queue counters.
+type QueueStats struct {
+	Workers   int   `json:"workers"`
+	Depth     int   `json:"depth"`
+	Capacity  int   `json:"capacity"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Done      int   `json:"done"`
+	Failed    int   `json:"failed"`
+	CacheHits int   `json:"cache_hits"`
+	MinesRun  int64 `json:"mines_run"`
+	SweepsRun int64 `json:"sweeps_run"`
+}
+
+// Stats snapshots the queue counters and per-status job tallies.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := QueueStats{
+		Workers:   q.workers,
+		Depth:     len(q.ch),
+		Capacity:  cap(q.ch),
+		MinesRun:  q.minesRun.Load(),
+		SweepsRun: q.sweepsRun.Load(),
+	}
+	for _, j := range q.jobs {
+		switch j.Status {
+		case StatusQueued:
+			s.Queued++
+		case StatusRunning:
+			s.Running++
+		case StatusDone:
+			s.Done++
+		case StatusFailed:
+			s.Failed++
+		}
+		if j.CacheHit {
+			s.CacheHits++
+		}
+	}
+	return s
+}
+
+// JobStat is the per-job line of the /v1/stats payload: identity plus the
+// core run counters, without the (possibly large) pattern payload.
+type JobStat struct {
+	ID       string          `json:"id"`
+	Kind     JobKind         `json:"kind"`
+	Dataset  string          `json:"dataset"`
+	Status   JobStatus       `json:"status"`
+	CacheHit bool            `json:"cache_hit"`
+	Stats    *core.StatsJSON `json:"stats,omitempty"`
+}
+
+// JobStats lists per-job core statistics in submission order.
+func (q *Queue) JobStats() []JobStat {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]JobStat, 0, len(q.order))
+	for _, id := range q.order {
+		j := q.jobs[id]
+		out = append(out, JobStat{
+			ID:       j.ID,
+			Kind:     j.Kind,
+			Dataset:  j.Dataset,
+			Status:   j.Status,
+			CacheHit: j.CacheHit,
+			Stats:    j.Stats,
+		})
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/flipper-mining/flipper/internal/core"
+	"github.com/flipper-mining/flipper/internal/taxonomy"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// Dataset file names inside one registry directory entry — the layout
+// flipgen writes.
+const (
+	taxonomyFile = "taxonomy.tsv"
+	basketsFile  = "baskets.txt"
+)
+
+// Dataset is one named taxonomy/basket pair the service can mine.
+type Dataset struct {
+	// Name is the registry key, unique within a Registry.
+	Name string
+	// Tree is the taxonomy, extended (Figure 3 variant B) when the on-disk
+	// hierarchy is unbalanced so mining never rejects it.
+	Tree *taxonomy.Tree
+	// Src supplies the transactions: an in-memory txdb.DB, or a
+	// txdb.FileSource re-reading the basket file on every pass when the
+	// registry runs in streaming mode.
+	Src txdb.Source
+	// Stream records whether Src re-reads disk on every scan.
+	Stream bool
+}
+
+// DefaultConfig returns the paper-default mining configuration for the
+// dataset's taxonomy height; job submissions overlay their overrides on it.
+// Streaming datasets default to non-materialized counting so the memory
+// promise of txdb.FileSource is kept end to end.
+func (d *Dataset) DefaultConfig() core.Config {
+	cfg := core.DefaultConfig(d.Tree.Height())
+	if d.Stream {
+		cfg.Materialize = false
+	}
+	return cfg
+}
+
+// Info is the wire description of one registered dataset.
+type Info struct {
+	Name          string      `json:"name"`
+	Transactions  int         `json:"transactions"`
+	Height        int         `json:"height"`
+	Nodes         int         `json:"nodes"`
+	Leaves        int         `json:"leaves"`
+	Stream        bool        `json:"stream"`
+	DefaultConfig core.Config `json:"default_config"`
+}
+
+// Registry holds the datasets a service instance serves, keyed by name.
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	sets map[string]*Dataset
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sets: make(map[string]*Dataset)}
+}
+
+// Add registers a dataset under its name. Names must be unique.
+func (r *Registry) Add(d *Dataset) error {
+	if d.Name == "" {
+		return fmt.Errorf("service: dataset name must not be empty")
+	}
+	if d.Tree == nil || d.Src == nil {
+		return fmt.Errorf("service: dataset %q needs a taxonomy and a source", d.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.sets[d.Name]; dup {
+		return fmt.Errorf("service: dataset %q already registered", d.Name)
+	}
+	r.sets[d.Name] = d
+	return nil
+}
+
+// AddMemory registers an in-memory database under name — the path tests and
+// embedders use (e.g. to serve a simdata simulator directly).
+func (r *Registry) AddMemory(name string, db *txdb.DB, tree *taxonomy.Tree) error {
+	return r.Add(&Dataset{Name: name, Tree: tree, Src: db})
+}
+
+// LoadDir scans dir for subdirectories holding a taxonomy.tsv + baskets.txt
+// pair (the flipgen output layout) and registers each under its directory
+// name. With stream set, baskets stay on disk behind a txdb.FileSource;
+// otherwise they are materialized into memory once at load time.
+// Subdirectories without the two files are skipped silently, so a data dir
+// can hold READMEs and scratch files. Returns the names registered.
+func (r *Registry) LoadDir(dir string, stream bool) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: data dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(dir, e.Name())
+		taxPath := filepath.Join(sub, taxonomyFile)
+		dbPath := filepath.Join(sub, basketsFile)
+		if _, err := os.Stat(taxPath); err != nil {
+			continue
+		}
+		if _, err := os.Stat(dbPath); err != nil {
+			continue
+		}
+		d, err := loadDataset(e.Name(), taxPath, dbPath, stream)
+		if err != nil {
+			return names, fmt.Errorf("service: dataset %q: %w", e.Name(), err)
+		}
+		if err := r.Add(d); err != nil {
+			return names, err
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// loadDataset reads one taxonomy/basket pair from disk.
+func loadDataset(name, taxPath, dbPath string, stream bool) (*Dataset, error) {
+	tf, err := os.Open(taxPath)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := taxonomy.Parse(tf, nil)
+	tf.Close()
+	if err != nil {
+		return nil, err
+	}
+	if !tree.IsBalanced() {
+		tree = tree.Extend()
+	}
+	d := &Dataset{Name: name, Tree: tree, Stream: stream}
+	if stream {
+		fs, err := txdb.OpenFile(dbPath, tree.Dict())
+		if err != nil {
+			return nil, err
+		}
+		d.Src = fs
+	} else {
+		bf, err := os.Open(dbPath)
+		if err != nil {
+			return nil, err
+		}
+		db, err := txdb.ReadBaskets(bf, tree.Dict())
+		bf.Close()
+		if err != nil {
+			return nil, err
+		}
+		d.Src = db
+	}
+	return d, nil
+}
+
+// Get looks a dataset up by name.
+func (r *Registry) Get(name string) (*Dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.sets[name]
+	return d, ok
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sets)
+}
+
+// List describes every registered dataset, sorted by name.
+func (r *Registry) List() []Info {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Info, 0, len(r.sets))
+	for _, d := range r.sets {
+		out = append(out, Info{
+			Name:          d.Name,
+			Transactions:  d.Src.Len(),
+			Height:        d.Tree.Height(),
+			Nodes:         d.Tree.NodeCount(),
+			Leaves:        len(d.Tree.Leaves()),
+			Stream:        d.Stream,
+			DefaultConfig: d.DefaultConfig(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

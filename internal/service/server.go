@@ -1,0 +1,292 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/flipper-mining/flipper/internal/core"
+	"github.com/flipper-mining/flipper/internal/measure"
+)
+
+// Options tune a server; the zero value selects the defaults.
+type Options struct {
+	// Workers is the mining worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds the number of queued-not-yet-running jobs
+	// (default 64); submissions beyond it get HTTP 503.
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries (default 128);
+	// 0 disables caching, negative values are treated as 0.
+	CacheSize int
+	// JobHistory caps how many completed jobs stay pollable (default 1000);
+	// the oldest completed jobs and their payloads are pruned beyond it.
+	JobHistory int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 128
+	}
+	if o.CacheSize < 0 {
+		o.CacheSize = 0
+	}
+	if o.JobHistory == 0 {
+		o.JobHistory = 1000
+	}
+	return o
+}
+
+// Server is the flipperd HTTP service: a dataset registry, a result cache
+// and an async job queue behind a JSON API under /v1/.
+type Server struct {
+	reg   *Registry
+	cache *Cache
+	queue *Queue
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer assembles a server over reg.
+func NewServer(reg *Registry, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		reg:   reg,
+		cache: NewCache(opts.CacheSize),
+		start: time.Now(),
+	}
+	s.queue = NewQueue(opts.Workers, opts.QueueDepth, opts.JobHistory, s.cache)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the worker pool.
+func (s *Server) Close() { s.queue.Close() }
+
+// Queue exposes the job queue (used by tests and embedders to wait on jobs).
+func (s *Server) Queue() *Queue { return s.queue }
+
+// Cache exposes the result cache.
+func (s *Server) Cache() *Cache { return s.cache }
+
+// ConfigPatch is the submit-time configuration overlay: every field is
+// optional and falls back to the dataset's default configuration, so a
+// client can send {"epsilon": 0.2} and inherit the rest. JSON field order
+// is irrelevant — the patch is applied onto a struct and the result keyed
+// by core.Config.CanonicalKey, so permuted but equal requests are cache
+// hits.
+type ConfigPatch struct {
+	Measure       *measure.Measure    `json:"measure"`
+	Gamma         *float64            `json:"gamma"`
+	Epsilon       *float64            `json:"epsilon"`
+	MinSup        []float64           `json:"min_sup"`
+	MinSupAbs     []int64             `json:"min_sup_abs"`
+	Pruning       *core.PruningLevel  `json:"pruning"`
+	Strategy      *core.CountStrategy `json:"strategy"`
+	MaxK          *int                `json:"max_k"`
+	Parallelism   *int                `json:"parallelism"`
+	Materialize   *bool               `json:"materialize"`
+	KeepCellStats *bool               `json:"keep_cell_stats"`
+	TopK          *int                `json:"top_k"`
+}
+
+// Apply overlays the patch on cfg.
+func (p *ConfigPatch) Apply(cfg core.Config) core.Config {
+	if p == nil {
+		return cfg
+	}
+	if p.Measure != nil {
+		cfg.Measure = *p.Measure
+	}
+	if p.Gamma != nil {
+		cfg.Gamma = *p.Gamma
+	}
+	if p.Epsilon != nil {
+		cfg.Epsilon = *p.Epsilon
+	}
+	if p.MinSup != nil {
+		cfg.MinSup = p.MinSup
+		cfg.MinSupAbs = nil
+	}
+	if p.MinSupAbs != nil {
+		cfg.MinSupAbs = p.MinSupAbs
+	}
+	if p.Pruning != nil {
+		cfg.Pruning = *p.Pruning
+	}
+	if p.Strategy != nil {
+		cfg.Strategy = *p.Strategy
+	}
+	if p.MaxK != nil {
+		cfg.MaxK = *p.MaxK
+	}
+	if p.Parallelism != nil {
+		cfg.Parallelism = *p.Parallelism
+	}
+	if p.Materialize != nil {
+		cfg.Materialize = *p.Materialize
+	}
+	if p.KeepCellStats != nil {
+		cfg.KeepCellStats = *p.KeepCellStats
+	}
+	if p.TopK != nil {
+		cfg.TopK = *p.TopK
+	}
+	return cfg
+}
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	// Dataset names a registered dataset (required).
+	Dataset string `json:"dataset"`
+	// Kind is "mine" (default) or "sweep".
+	Kind JobKind `json:"kind"`
+	// Config overlays the dataset's default configuration.
+	Config *ConfigPatch `json:"config"`
+	// Epsilons is the ε list for sweep jobs.
+	Epsilons []float64 `json:"epsilons"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts a mine or sweep job. Responses: 200 with a done job
+// on a cache hit, 202 with a queued/coalesced job otherwise, 400 on invalid
+// requests, 404 for unknown datasets, 503 when the queue is full.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Kind == "" {
+		req.Kind = JobMine
+	}
+	if req.Kind != JobMine && req.Kind != JobSweep {
+		writeError(w, http.StatusBadRequest, "unknown job kind %q", req.Kind)
+		return
+	}
+	d, ok := s.reg.Get(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+		return
+	}
+	cfg := req.Config.Apply(d.DefaultConfig())
+	if err := cfg.Validate(d.Tree.Height(), d.Src.Len()); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid config: %v", err)
+		return
+	}
+	switch req.Kind {
+	case JobSweep:
+		if len(req.Epsilons) == 0 {
+			writeError(w, http.StatusBadRequest, "sweep jobs need a non-empty epsilons list")
+			return
+		}
+		for _, e := range req.Epsilons {
+			if e < 0 || e >= cfg.Gamma {
+				writeError(w, http.StatusBadRequest, "sweep epsilon %v out of [0, gamma)", e)
+				return
+			}
+		}
+	case JobMine:
+		// An epsilons list on a mine is almost certainly a forgotten
+		// "kind": "sweep"; dropping it silently would mine the wrong thing.
+		if len(req.Epsilons) > 0 {
+			writeError(w, http.StatusBadRequest, "mine jobs take no epsilons list; did you mean \"kind\": \"sweep\"?")
+			return
+		}
+	}
+	j, err := s.queue.Submit(d, req.Kind, cfg, req.Epsilons)
+	if errors.Is(err, ErrQueueFull) {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	v, _ := s.queue.Get(j.ID)
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	if v.Status == StatusDone {
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.queue.List()})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.reg.List()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"uptime":  time.Since(s.start).Round(time.Millisecond).String(),
+		"version": "v1",
+	})
+}
+
+// statsBody is the GET /v1/stats payload.
+type statsBody struct {
+	Uptime   string     `json:"uptime"`
+	Datasets int        `json:"datasets"`
+	Cache    CacheStats `json:"cache"`
+	Queue    QueueStats `json:"queue"`
+	Jobs     []JobStat  `json:"jobs"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsBody{
+		Uptime:   time.Since(s.start).Round(time.Millisecond).String(),
+		Datasets: s.reg.Len(),
+		Cache:    s.cache.Stats(),
+		Queue:    s.queue.Stats(),
+		Jobs:     s.queue.JobStats(),
+	})
+}

@@ -1,0 +1,23 @@
+/*
+Package simdata exposes the repository's dataset simulators through the
+public API: the ten-transaction worked example of the paper's Figure 4
+(PaperToy), the motivating MovieLens example (Movies), and the three
+reality-check simulators — Groceries, Census and Medline — with the
+paper's published flipping patterns planted in them.
+
+The original datasets are not redistributable, so the simulators stand in
+for them in tests, benchmarks and demos. Each preserves the properties the
+paper's evaluation depends on: transaction counts and widths, taxonomy
+shape (including the unbalanced branches that exercise the Figure 3
+extension), the background co-occurrence structure, and — most importantly
+— the published flipping patterns, which are planted explicitly and
+returned as ground truth in Dataset.Expected. The construction of each
+simulator is documented in its generator under internal/datasets.
+
+All simulators are deterministic given a seed, and accept a scale factor
+so the same shape can run as a quick test (scale < 1) or a full-size
+benchmark workload. The flipgen command writes any of them to disk in the
+taxonomy.tsv + baskets.txt layout the flipper CLI and the flipperd service
+consume. See docs/ARCHITECTURE.md for the package map.
+*/
+package simdata

@@ -1,11 +1,3 @@
-// Package simdata exposes the repository's dataset simulators through the
-// public API: the worked example of the paper's Figure 4 and the three
-// reality-check simulators (GROCERIES, CENSUS, MEDLINE) with the paper's
-// published flipping patterns planted in them.
-//
-// The original datasets are not redistributable; DESIGN.md documents how
-// each simulator preserves the properties the paper's evaluation depends
-// on. All simulators are deterministic given a seed.
 package simdata
 
 import (

@@ -1,0 +1,25 @@
+/*
+Package subgroup exposes the discriminative-correlation extension through
+the public API — the first extension sketched in the paper's future-work
+section ("correlations that are different in some sub-group of the data").
+
+A discriminative correlation is a pair of taxonomy nodes whose correlation
+label inside a sub-group — the transactions containing a chosen context
+itemset — contrasts with its label in the whole database: positively
+correlated among buyers of diapers, say, yet negatively correlated (or
+uncorrelated) overall. Where the core Flipper algorithm varies the
+abstraction level and holds the population fixed, this extension holds the
+level fixed and varies the population; the two slice the same
+sign-structure of correlations along orthogonal axes.
+
+Discriminative evaluates every pair at a fixed taxonomy level twice — once
+over the sub-group, once over the whole database — using the same
+null-invariant measures and γ/ε labeling as the core engine, and returns
+the pairs whose labels contrast, ordered by descending correlation gap.
+
+The examples/subgroups program is a runnable walkthrough. The underlying
+engine lives in internal/contrast; this package is a thin facade in the
+style of the root flipper package. See docs/ARCHITECTURE.md for where it
+sits in the package map.
+*/
+package subgroup

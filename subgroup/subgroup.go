@@ -1,8 +1,3 @@
-// Package subgroup exposes the discriminative-correlation extension through
-// the public API: correlations whose sign inside a sub-group (the
-// transactions containing a context itemset) contrasts with their sign in
-// the whole database — the first extension sketched in the paper's
-// future-work section. See the examples/subgroups program for a walkthrough.
 package subgroup
 
 import (
