@@ -11,6 +11,7 @@ package flipper_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	flipper "github.com/flipper-mining/flipper"
@@ -259,17 +260,87 @@ func BenchmarkTable4PatternCounts(b *testing.B) {
 }
 
 // BenchmarkAblationCountingStrategy compares the paper-faithful scan
-// counter against the Eclat-style tid-list counter (a design alternative
-// the paper leaves to future work).
+// counter against the Eclat-style tid-list counter, the vertical bitmap
+// counter, and the per-cell auto cost model (design alternatives the paper
+// leaves to future work).
 func BenchmarkAblationCountingStrategy(b *testing.B) {
 	db, tree := benchSynthetic(b, benchN, 5)
 	for _, s := range []struct {
 		name     string
 		strategy flipper.CountStrategy
-	}{{"scan", flipper.CountScan}, {"tidlist", flipper.CountTIDList}} {
+	}{
+		{"scan", flipper.CountScan},
+		{"tidlist", flipper.CountTIDList},
+		{"bitmap", flipper.CountBitmap},
+		{"auto", flipper.CountAuto},
+	} {
 		b.Run(s.name, func(b *testing.B) {
 			cfg := benchConfig(flipper.Full, benchDefaultMinsup, 0.3, 0.1)
 			cfg.Strategy = s.strategy
+			mineOnce(b, db, tree, cfg)
+		})
+	}
+}
+
+// denseWorkload builds the bitmap backend's home turf: a flat, wide
+// taxonomy (64 categories × 2 leaves, height 2) and wide (16-item)
+// transactions, so permissive thresholds put every one of the C(128,2) +
+// C(64,2) ≈ 10K pair candidates against a dense level view that barely
+// dedups. Per cell the scan counter enumerates C(16,2) = 120 subsets for
+// each of the 8000 transactions (hash probe + key build each), while the
+// bitmap counter pays 2 vector words per 64 distinct transactions per
+// candidate — plain ANDs over cached, cache-friendly []uint64.
+func denseWorkload(b *testing.B) (*txdb.DB, *taxonomy.Tree) {
+	b.Helper()
+	tb := flipper.NewTaxonomyBuilder(nil)
+	for r := 0; r < 64; r++ {
+		for l := 0; l < 2; l++ {
+			if err := tb.AddPath(fmt.Sprintf("cat%02d", r), fmt.Sprintf("leaf%02d.%d", r, l)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	tree, err := tb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	db := txdb.New(tree.Dict())
+	for i := 0; i < 8000; i++ {
+		var names []string
+		for j := 0; j < 16; j++ {
+			names = append(names, fmt.Sprintf("leaf%02d.%d", rng.Intn(64), rng.Intn(2)))
+		}
+		db.AddNames(names...)
+	}
+	return db, tree
+}
+
+// BenchmarkCountingDense is the committed evidence for the bitmap backend:
+// on a dense high-candidate workload, bitmap counting beats scan counting
+// (see docs/ARCHITECTURE.md for recorded numbers).
+func BenchmarkCountingDense(b *testing.B) {
+	db, tree := denseWorkload(b)
+	for _, s := range []struct {
+		name     string
+		strategy flipper.CountStrategy
+	}{
+		{"scan", flipper.CountScan},
+		{"tidlist", flipper.CountTIDList},
+		{"bitmap", flipper.CountBitmap},
+		{"auto", flipper.CountAuto},
+	} {
+		b.Run(s.name, func(b *testing.B) {
+			cfg := flipper.Config{
+				Measure:     flipper.Kulczynski,
+				Gamma:       0.3,
+				Epsilon:     0.1,
+				MinSupAbs:   []int64{5, 5},
+				Pruning:     flipper.Basic,
+				Strategy:    s.strategy,
+				MaxK:        2,
+				Materialize: true,
+			}
 			mineOnce(b, db, tree, cfg)
 		})
 	}

@@ -55,6 +55,13 @@ func main() {
 	}
 	s.Seed = *seed
 
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "flipbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	var ids []string
 	if *exp == "all" {
 		for _, e := range experiments.Registry() {

@@ -5,7 +5,7 @@
 //
 //	flipper -tax taxonomy.tsv -db baskets.txt \
 //	        -gamma 0.3 -epsilon 0.1 -minsup 0.01,0.001,0.0005,0.0001 \
-//	        [-measure kulczynski] [-pruning full] [-strategy scan|tidlist|auto] \
+//	        [-measure kulczynski] [-pruning full] [-strategy scan|tidlist|bitmap|auto] \
 //	        [-topk 0] [-target-patterns 0] [-stream] [-stats] \
 //	        [-json] [-json-api] [-csv patterns.csv]
 //
@@ -41,7 +41,7 @@ func main() {
 		minsup   = flag.String("minsup", "", "per-level minimum supports, e.g. 0.01,0.001,0.0005 (most general level first)")
 		meas     = flag.String("measure", "kulczynski", "correlation measure: kulczynski, cosine, all_confidence, coherence, max_confidence")
 		pruning  = flag.String("pruning", "full", "pruning level: basic, flipping, flipping+tpg, full")
-		strategy = flag.String("strategy", "scan", "support counting: scan or tidlist")
+		strategy = flag.String("strategy", "scan", "support counting: scan, tidlist, bitmap or auto")
 		topK     = flag.Int("topk", 0, "keep only the K most flipping patterns (largest correlation gap)")
 		target   = flag.Int("target-patterns", 0, "auto-tune ε: search for the most selective ε yielding at least this many patterns")
 		maxK     = flag.Int("maxk", 0, "cap the itemset size (0 = data-bound)")

@@ -101,8 +101,10 @@ const (
 	CountScan = core.CountScan
 	// CountTIDList intersects per-item transaction-ID lists.
 	CountTIDList = core.CountTIDList
-	// CountAuto picks scan or tidlist per cell with a cost model.
+	// CountAuto picks scan, tidlist or bitmap per cell with a cost model.
 	CountAuto = core.CountAuto
+	// CountBitmap ANDs per-item bit vectors and pop-counts the result.
+	CountBitmap = core.CountBitmap
 )
 
 // Correlation labels.
@@ -186,5 +188,6 @@ func ParseMeasure(name string) (Measure, error) { return measure.Parse(name) }
 // "flipping+tpg", "full").
 func ParsePruningLevel(name string) (PruningLevel, error) { return core.ParsePruningLevel(name) }
 
-// ParseCountStrategy resolves a counting strategy name ("scan", "tidlist").
+// ParseCountStrategy resolves a counting strategy name ("scan", "tidlist",
+// "bitmap", "auto").
 func ParseCountStrategy(name string) (CountStrategy, error) { return core.ParseCountStrategy(name) }

@@ -71,6 +71,18 @@ func TestQuickstart(t *testing.T) {
 	if res.Stats.Transactions != 10 {
 		t.Errorf("stats transactions = %d", res.Stats.Transactions)
 	}
+	// Every counting backend finds the same single pattern.
+	for _, strategy := range []flipper.CountStrategy{flipper.CountTIDList, flipper.CountBitmap, flipper.CountAuto} {
+		cfg := toyConfig()
+		cfg.Strategy = strategy
+		res, err := flipper.Mine(db, tree, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", strategy, err)
+		}
+		if len(res.Patterns) != 1 || !strings.Contains(res.Patterns[0].Format(tree), "{a11, b11}") {
+			t.Errorf("%v found %d patterns, want the toy flip", strategy, len(res.Patterns))
+		}
+	}
 }
 
 func TestBuilderFlow(t *testing.T) {
@@ -142,8 +154,10 @@ func TestParsers(t *testing.T) {
 	if _, err := flipper.ParsePruningLevel("full"); err != nil {
 		t.Error(err)
 	}
-	if _, err := flipper.ParseCountStrategy("tidlist"); err != nil {
-		t.Error(err)
+	for _, name := range []string{"scan", "tidlist", "bitmap", "auto"} {
+		if _, err := flipper.ParseCountStrategy(name); err != nil {
+			t.Error(err)
+		}
 	}
 	if _, err := flipper.ParseMeasure("nope"); err == nil {
 		t.Error("bad measure accepted")

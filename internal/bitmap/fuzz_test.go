@@ -1,0 +1,70 @@
+package bitmap
+
+import (
+	"testing"
+
+	"github.com/flipper-mining/flipper/internal/itemset"
+)
+
+// decodeTxs turns arbitrary fuzz bytes into a small weighted database: a
+// zero byte ends the current transaction, any other byte contributes its
+// low nibble as an item ID and its high nibble (plus one) to the
+// transaction's weight. The decoder is total — every byte string yields a
+// valid database — so the fuzzer explores shapes, not parse errors.
+func decodeTxs(data []byte) (txs []itemset.Set, weights []int64) {
+	var cur []itemset.ID
+	var w int64 = 1
+	flush := func() {
+		txs = append(txs, itemset.New(cur...))
+		weights = append(weights, w)
+		cur, w = nil, 1
+	}
+	for _, b := range data {
+		if b == 0 {
+			flush()
+			continue
+		}
+		cur = append(cur, itemset.ID(b&0x0f))
+		w += int64(b >> 4)
+	}
+	if len(cur) > 0 {
+		flush()
+	}
+	return txs, weights
+}
+
+// FuzzSupportEquivalence is the bitmap/scan support-equivalence property as
+// a fuzz target: for every database the fuzzer can encode and every 1-, 2-
+// and 3-itemset over its item universe, the bitmap index must report exactly
+// the brute-force scan support.
+func FuzzSupportEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 1, 2, 0, 0x21, 0x32})
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{0xff, 0xf1, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1024 {
+			return // keep each execution fast
+		}
+		txs, weights := decodeTxs(data)
+		ix := Build(txs, weights)
+		// The nibble encoding bounds the universe to 0..15; probe every
+		// 1- and 2-itemset and a diagonal of 3-itemsets.
+		for a := itemset.ID(0); a < 16; a++ {
+			check(t, ix, txs, weights, itemset.New(a))
+			for b := a + 1; b < 16; b++ {
+				check(t, ix, txs, weights, itemset.New(a, b))
+			}
+			check(t, ix, txs, weights, itemset.New(a, (a+1)%16, (a+5)%16))
+		}
+	})
+}
+
+func check(t *testing.T, ix *Index, txs []itemset.Set, weights []int64, items itemset.Set) {
+	t.Helper()
+	got, _ := ix.Support(items)
+	want := bruteSupport(txs, weights, items)
+	if got != want {
+		t.Fatalf("Support(%v) = %d, scan reference = %d (n=%d)", items, got, want, len(txs))
+	}
+}

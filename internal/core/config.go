@@ -82,12 +82,19 @@ const (
 	// CountTIDList intersects per-item transaction-ID lists (Eclat-style);
 	// an ablation showing the trade-off the paper leaves to future work.
 	CountTIDList
-	// CountAuto chooses between scan and tid-list per cell with a simple
-	// cost model: scans pay one subset enumeration per distinct transaction,
-	// tid-lists pay one k-way sorted intersection per candidate. Scans win
-	// when candidates are plentiful, tid-lists when a few candidates face a
-	// long database.
+	// CountAuto chooses between scan, tid-list and bitmap per cell with a
+	// simple cost model: scans pay one subset enumeration per distinct
+	// transaction, tid-lists pay one k-way sorted intersection per
+	// candidate, bitmaps pay k words per 64 distinct transactions per
+	// candidate (plus a one-time per-level build). Scans win when candidates
+	// dwarf the database, tid-lists when a few candidates face sparse
+	// lists, bitmaps when many candidates face a dense level.
 	CountAuto
+	// CountBitmap ANDs per-item bit vectors over the distinct weighted
+	// transactions of the level view and pop-counts the result against the
+	// weight vector. Vectors are built lazily per level and cached on the
+	// miner.
+	CountBitmap
 )
 
 func (s CountStrategy) String() string {
@@ -98,6 +105,8 @@ func (s CountStrategy) String() string {
 		return "tidlist"
 	case CountAuto:
 		return "auto"
+	case CountBitmap:
+		return "bitmap"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
@@ -112,6 +121,8 @@ func ParseCountStrategy(s string) (CountStrategy, error) {
 		return CountTIDList, nil
 	case "auto":
 		return CountAuto, nil
+	case "bitmap", "bits":
+		return CountBitmap, nil
 	default:
 		return 0, fmt.Errorf("core: unknown counting strategy %q", s)
 	}
@@ -212,11 +223,11 @@ func (c *Config) validate(height, n int) ([]int64, error) {
 	if c.Parallelism < 0 {
 		return nil, fmt.Errorf("core: parallelism %d negative", c.Parallelism)
 	}
-	if c.Strategy == CountTIDList && !c.Materialize {
-		return nil, fmt.Errorf("core: tidlist counting requires materialized views")
+	if c.Strategy < CountScan || c.Strategy > CountBitmap {
+		return nil, fmt.Errorf("core: unknown counting strategy %v", c.Strategy)
 	}
-	if c.Strategy == CountAuto && !c.Materialize {
-		return nil, fmt.Errorf("core: auto counting requires materialized views")
+	if c.Strategy != CountScan && !c.Materialize {
+		return nil, fmt.Errorf("core: %v counting requires materialized views", c.Strategy)
 	}
 	abs := make([]int64, height+1)
 	switch {

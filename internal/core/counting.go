@@ -3,32 +3,50 @@ package core
 import (
 	"sync"
 
+	"github.com/flipper-mining/flipper/internal/bitmap"
 	"github.com/flipper-mining/flipper/internal/itemset"
 )
 
 // count fills in the support of every candidate in the cell with one pass
-// over the data (or one set of tid-list intersections).
+// over the data, one set of tid-list intersections, or one batch of bitmap
+// AND+popcounts.
 func (m *miner) count(c *cell) {
 	m.stats.DBScans++
 	strategy := m.cfg.Strategy
 	if strategy == CountAuto {
 		strategy = m.chooseStrategy(c)
 	}
-	if strategy == CountTIDList {
+	switch strategy {
+	case CountTIDList:
 		m.countTID(c)
-		return
-	}
-	if m.cfg.Materialize {
-		m.countScanMaterialized(c)
-	} else {
-		m.countScanStreaming(c)
+	case CountBitmap:
+		m.countBitmap(c)
+	default:
+		if m.cfg.Materialize {
+			m.countScanMaterialized(c)
+		} else {
+			m.countScanStreaming(c)
+		}
 	}
 }
 
-// chooseStrategy is the CountAuto cost model. Scan cost: every distinct
-// transaction enumerates C(w, k) subsets (hash probes). Tid-list cost: every
-// candidate intersects k sorted lists whose combined length averages
-// k·(level volume / level item count).
+// scanProbeWeight converts one scan probe (k-subset key build + hash-map
+// lookup) into the model's base unit — one sequential word/element
+// operation, which is what a tid-list merge step and a bitmap AND both
+// cost. Calibrated on the dense counting benchmark (BenchmarkCountingDense:
+// ~40ns per probe vs ~5ns per word op on a 2.1GHz Xeon).
+const scanProbeWeight = 8
+
+// chooseStrategy is the CountAuto cost model, in units of one sequential
+// word/element operation. Scan cost: every distinct transaction enumerates
+// C(w, k) subsets, each a hash probe worth scanProbeWeight units. Tid-list
+// cost: every candidate intersects k sorted lists whose combined length
+// averages k·(level volume / level item count). Bitmap cost: every candidate
+// ANDs k vectors of ⌈distinct/64⌉ words, plus a one-time per-level build of
+// one word-vector per item. Scans win when candidates dwarf the database
+// (their cost is candidate-independent), tid-lists win when a few candidates
+// face sparse lists, and bitmaps win when a high candidate count meets a
+// dense level — many probes amortizing the fixed-width vectors.
 func (m *miner) chooseStrategy(c *cell) CountStrategy {
 	view := m.views[c.h]
 	items := len(view.Support)
@@ -40,12 +58,21 @@ func (m *miner) chooseStrategy(c *cell) CountStrategy {
 		volume += sup
 	}
 	avgWidth := float64(volume) / float64(len(view.Tx))
-	scanCost := float64(len(m.distinct[c.h])) * float64(itemset.Binomial(int(avgWidth+1), c.k))
+	scanCost := scanProbeWeight * float64(len(m.distinct[c.h])) * float64(itemset.Binomial(int(avgWidth+1), c.k))
 	tidCost := float64(c.candidates) * float64(c.k) * float64(volume) / float64(items)
-	if tidCost < scanCost {
-		return CountTIDList
+	words := float64(bitmap.Words(len(m.distinct[c.h])))
+	bitCost := float64(c.candidates) * float64(c.k) * words
+	if m.bitmaps[c.h] == nil {
+		bitCost += float64(items) * words // the build pass, paid once
 	}
-	return CountScan
+	best, cost := CountScan, scanCost
+	if tidCost < cost {
+		best, cost = CountTIDList, tidCost
+	}
+	if bitCost < cost {
+		best = CountBitmap
+	}
+	return best
 }
 
 // candidateIndex freezes a cell's candidates into a slice with a key→index
@@ -207,6 +234,70 @@ func (m *miner) countTID(c *cell) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// countBitmap counts by AND-ing per-item bit vectors over the distinct
+// weighted transactions of the level view, fanning candidate ranges out to
+// cfg.workers() goroutines. The per-level index is built lazily on first use
+// and cached on the miner, like the tid lists.
+func (m *miner) countBitmap(c *cell) {
+	ix := m.bitmapIndex(c.h)
+	ci := buildIndex(c)
+	workers := m.cfg.workers()
+	if workers > len(ci.ents) {
+		workers = len(ci.ents)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (len(ci.ents) + workers - 1) / workers
+	ops := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ci.ents) {
+			hi = len(ci.ents)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			scratch := make([]bitmap.Vector, c.k)
+			var local int64
+			for _, e := range ci.ents[lo:hi] {
+				sup, n := ix.SupportInto(e.items, scratch)
+				e.sup = sup
+				local += n
+			}
+			ops[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, n := range ops {
+		m.stats.BitmapWordOps += n
+	}
+}
+
+// bitmapIndex lazily builds the per-item bit vectors of a level over its
+// deduplicated transactions.
+func (m *miner) bitmapIndex(h int) *bitmap.Index {
+	if m.bitmaps[h] != nil {
+		return m.bitmaps[h]
+	}
+	data := m.distinct[h]
+	txs := make([]itemset.Set, len(data))
+	weights := make([]int64, len(data))
+	for i, wt := range data {
+		txs[i] = wt.Items
+		weights[i] = wt.Weight
+	}
+	ix := bitmap.Build(txs, weights)
+	m.bitmaps[h] = ix
+	m.stats.BitmapBuilds++
+	return ix
 }
 
 // tidLists lazily builds the per-item transaction-ID lists of a level.

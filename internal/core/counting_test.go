@@ -1,11 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"github.com/flipper-mining/flipper/internal/itemset"
 	"github.com/flipper-mining/flipper/internal/measure"
+	"github.com/flipper-mining/flipper/internal/taxonomy"
+	"github.com/flipper-mining/flipper/internal/txdb"
 )
 
 func TestIntersectSupport(t *testing.T) {
@@ -141,6 +144,72 @@ func TestAutoMatchesScanOnRandomData(t *testing.T) {
 		if fingerprint(a, tree) != fingerprint(b, tree) {
 			t.Fatalf("trial %d: auto diverged from scan", trial)
 		}
+	}
+}
+
+// taxonomyBuilderForDense builds a flat, wide taxonomy: 40 categories with
+// two leaves each, height 2 — so level 1 has 40 items and C(40,2) = 780
+// pair candidates when supports are permissive.
+func taxonomyBuilderForDense(t *testing.T) *taxonomy.Builder {
+	t.Helper()
+	b := taxonomy.NewBuilder(nil)
+	for r := 0; r < 40; r++ {
+		for l := 0; l < 2; l++ {
+			if err := b.AddPath(fmt.Sprintf("cat%02d", r), fmt.Sprintf("leaf%02d.%d", r, l)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return b
+}
+
+// txdbForDense draws 500 transactions of 8 random leaves each: dense enough
+// that level views barely dedupe and candidate counts stay high.
+func txdbForDense(rng *rand.Rand, tree *taxonomy.Tree) *txdb.DB {
+	db := txdb.New(tree.Dict())
+	for i := 0; i < 500; i++ {
+		var names []string
+		for j := 0; j < 8; j++ {
+			names = append(names, fmt.Sprintf("leaf%02d.%d", rng.Intn(40), rng.Intn(2)))
+		}
+		db.AddNames(names...)
+	}
+	return db
+}
+
+// TestChooseStrategyPicksBitmapOnDenseCells drives CountAuto over a dense,
+// high-candidate workload (many frequent items, wide transactions) and
+// checks the cost model actually routes some cells to the bitmap backend:
+// with hundreds of candidates against ⌈n/64⌉-word vectors, AND+popcount is
+// the cheapest regime.
+func TestChooseStrategyPicksBitmapOnDenseCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	b := taxonomyBuilderForDense(t)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := txdbForDense(rng, tree)
+	cfg := Config{
+		Measure: measure.Kulczynski, Gamma: 0.3, Epsilon: 0.1,
+		MinSupAbs: []int64{1, 1}, Pruning: Basic, Materialize: true,
+		Strategy: CountAuto,
+	}
+	res, err := Mine(db, tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BitmapBuilds == 0 {
+		t.Fatalf("auto never chose bitmap on a dense workload: %+v", res.Stats)
+	}
+	// And the auto run must agree with a pure scan run.
+	cfg.Strategy = CountScan
+	want, err := Mine(db, tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(res, tree) != fingerprint(want, tree) {
+		t.Fatal("auto (with bitmap cells) diverged from scan")
 	}
 }
 

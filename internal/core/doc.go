@@ -64,8 +64,12 @@ candidate hash with its k-subsets (itemset.KSubsets + allocation-free
 AppendKey). Work is fanned out over Config.Parallelism workers that merge
 plain int64 count slices. With Config.Materialize=false the engine instead
 re-reads the Source every pass — the paper's disk-resident mode.
-CountTIDList intersects per-item transaction-id lists, and CountAuto picks
-per cell using a scan-vs-intersection cost estimate.
+CountTIDList intersects per-item transaction-id lists, CountBitmap ANDs
+per-item bit vectors over the distinct weighted transactions and
+pop-counts the result (internal/bitmap; vectors are built lazily per level
+and cached, like the tid lists), and CountAuto picks per cell using a
+three-way cost estimate in word-operation units (a scan probe is
+calibrated as 8 of those; see chooseStrategy).
 
 # Labeling and chains (engine.go finishCell)
 

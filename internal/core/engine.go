@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/flipper-mining/flipper/internal/bitmap"
 	"github.com/flipper-mining/flipper/internal/itemset"
 	"github.com/flipper-mining/flipper/internal/taxonomy"
 	"github.com/flipper-mining/flipper/internal/txdb"
@@ -61,6 +62,7 @@ type miner struct {
 	widths   []int                  // max generalized width per level
 	sorted   [][]itemset.ID         // frequent items per level, ascending support (SIBP)
 	tid      []map[itemset.ID][]int32
+	bitmaps  []*bitmap.Index // lazily built per-level item bit vectors
 
 	rows     []map[int]*cell       // rows[h][k]
 	excluded []map[itemset.ID]bool // SIBP-excluded items per level
@@ -130,6 +132,7 @@ func (m *miner) init() error {
 	m.widths = make([]int, H+1)
 	m.sorted = make([][]itemset.ID, H+1)
 	m.tid = make([]map[itemset.ID][]int32, H+1)
+	m.bitmaps = make([]*bitmap.Index, H+1)
 	m.rows = make([]map[int]*cell, H+1)
 	m.excluded = make([]map[itemset.ID]bool, H+1)
 	m.rset = make([]map[itemset.ID]bool, H+1)

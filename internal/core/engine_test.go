@@ -350,20 +350,29 @@ func TestStreamingMatchesMaterialized(t *testing.T) {
 
 func TestParallelCountingMatchesSerial(t *testing.T) {
 	db, tree := paperToy(t)
-	cfgSerial := toyConfig()
-	cfgSerial.Parallelism = 1
-	cfgPar := toyConfig()
-	cfgPar.Parallelism = 8
-	a, err := Mine(db, tree, cfgSerial)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := Mine(db, tree, cfgPar)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(a.Patterns) != len(b.Patterns) {
-		t.Fatalf("serial %d vs parallel %d patterns", len(a.Patterns), len(b.Patterns))
+	for _, strategy := range []CountStrategy{CountScan, CountTIDList, CountBitmap, CountAuto} {
+		t.Run(strategy.String(), func(t *testing.T) {
+			cfgSerial := toyConfig()
+			cfgSerial.Strategy = strategy
+			cfgSerial.Parallelism = 1
+			cfgPar := toyConfig()
+			cfgPar.Strategy = strategy
+			cfgPar.Parallelism = 8
+			a, err := Mine(db, tree, cfgSerial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Mine(db, tree, cfgPar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Patterns) != len(b.Patterns) {
+				t.Fatalf("serial %d vs parallel %d patterns", len(a.Patterns), len(b.Patterns))
+			}
+			if fa, fb := fingerprint(a, tree), fingerprint(b, tree); fa != fb {
+				t.Fatalf("serial and parallel runs disagree:\n%s\nvs\n%s", fa, fb)
+			}
+		})
 	}
 }
 

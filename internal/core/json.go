@@ -37,7 +37,7 @@ func (p *PruningLevel) UnmarshalJSON(b []byte) error {
 
 // MarshalJSON encodes the counting strategy by its canonical name.
 func (s CountStrategy) MarshalJSON() ([]byte, error) {
-	if s < CountScan || s > CountAuto {
+	if s < CountScan || s > CountBitmap {
 		return nil, fmt.Errorf("core: cannot marshal counting strategy %d", int(s))
 	}
 	return []byte(`"` + s.String() + `"`), nil
@@ -133,6 +133,8 @@ type StatsJSON struct {
 	AliveItemsets     int64  `json:"alive_itemsets"`
 	TPGBreaks         int64  `json:"tpg_breaks"`
 	SIBPExcludedItems int64  `json:"sibp_excluded_items"`
+	BitmapBuilds      int64  `json:"bitmap_builds"`
+	BitmapWordOps     int64  `json:"bitmap_word_ops"`
 	PeakCandidates    int64  `json:"peak_candidates"`
 	PeakBytes         int64  `json:"peak_bytes"`
 	ElapsedNS         int64  `json:"elapsed_ns"`
@@ -163,6 +165,8 @@ func (s *Stats) JSON() StatsJSON {
 		AliveItemsets:     s.AliveItemsets,
 		TPGBreaks:         s.TPGBreaks,
 		SIBPExcludedItems: s.SIBPExcludedItems,
+		BitmapBuilds:      s.BitmapBuilds,
+		BitmapWordOps:     s.BitmapWordOps,
 		PeakCandidates:    s.PeakCandidates,
 		PeakBytes:         s.PeakBytes,
 		ElapsedNS:         int64(s.Elapsed),

@@ -44,6 +44,13 @@ type Stats struct {
 	TPGBreaks         int64
 	SIBPExcludedItems int64
 
+	// BitmapBuilds counts per-level bit-vector index constructions (at most
+	// one per level per run — indexes are cached on the miner), and
+	// BitmapWordOps the 64-bit AND/load operations spent answering bitmap
+	// support queries.
+	BitmapBuilds  int64
+	BitmapWordOps int64
+
 	// PeakCandidates and PeakBytes track the maximum number of itemsets
 	// resident at once and their estimated memory footprint.
 	PeakCandidates int64
@@ -89,6 +96,9 @@ func (s *Stats) String() string {
 	}
 	if s.SIBPExcludedItems > 0 {
 		fmt.Fprintf(&b, ", %d SIBP-excluded items", s.SIBPExcludedItems)
+	}
+	if s.BitmapBuilds > 0 {
+		fmt.Fprintf(&b, ", %d bitmap builds (%d word ops)", s.BitmapBuilds, s.BitmapWordOps)
 	}
 	fmt.Fprintf(&b, ", %v", s.Elapsed.Round(time.Millisecond))
 	return b.String()

@@ -46,6 +46,7 @@ func Ablation(s Scale) (*Table, error) {
 	}{
 		{"count=scan", func(c *core.Config) { c.Strategy = core.CountScan }},
 		{"count=tidlist", func(c *core.Config) { c.Strategy = core.CountTIDList }},
+		{"count=bitmap", func(c *core.Config) { c.Strategy = core.CountBitmap }},
 		{"count=auto", func(c *core.Config) { c.Strategy = core.CountAuto }},
 		{"workers=1", func(c *core.Config) { c.Parallelism = 1 }},
 		{fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), func(c *core.Config) { c.Parallelism = runtime.GOMAXPROCS(0) }},

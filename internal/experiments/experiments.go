@@ -155,6 +155,7 @@ func Registry() []struct {
 		{"table4", "Table 4: flipping vs all positive/negative patterns", Table4},
 		{"fig10-12", "Figures 10-12: qualitative patterns per dataset", Patterns},
 		{"ablation", "Beyond the paper: counting strategy / parallelism / view ablations", Ablation},
+		{"counting", "Beyond the paper: scan vs tidlist vs bitmap counting across densities", Counting},
 	}
 }
 

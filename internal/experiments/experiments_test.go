@@ -19,7 +19,7 @@ func tiny() Scale {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "table3", "fig8a", "fig8b", "fig8c", "fig8d", "fig9a", "fig9b", "table4", "fig10-12", "ablation"}
+	want := []string{"table1", "table3", "fig8a", "fig8b", "fig8c", "fig8d", "fig9a", "fig9b", "table4", "fig10-12", "ablation", "counting"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -143,6 +143,38 @@ func TestFig9aAndTable4(t *testing.T) {
 		}
 		if flips < 1 {
 			t.Errorf("%s: no flipping patterns found", row[0])
+		}
+	}
+}
+
+func TestCountingShape(t *testing.T) {
+	tbl, err := Counting(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 widths × 4 strategies.
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("counting rows = %d, want 12", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		switch row[1] {
+		case "scan", "tidlist":
+			if row[4] != "0" {
+				t.Errorf("width %s strategy %s reported %s bitmap builds, want 0", row[0], row[1], row[4])
+			}
+		case "bitmap":
+			if row[4] == "0" || row[5] == "0" {
+				t.Errorf("width %s bitmap row has no bitmap work: builds=%s ops=%s", row[0], row[4], row[5])
+			}
+		}
+	}
+	// Pattern counts must agree across strategies within a width.
+	for w := 0; w < 3; w++ {
+		base := tbl.Rows[4*w][6]
+		for i := 1; i < 4; i++ {
+			if got := tbl.Rows[4*w+i][6]; got != base {
+				t.Errorf("width group %d: %s found %s patterns, scan found %s", w, tbl.Rows[4*w+i][1], got, base)
+			}
 		}
 	}
 }

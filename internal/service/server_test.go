@@ -159,6 +159,36 @@ func TestCacheKeyIgnoresFieldOrderAndExecutionKnobs(t *testing.T) {
 	}
 }
 
+// TestStrategyIsASemanticCacheField exercises the counting strategies over
+// the wire: every JSON name is accepted, each strategy keys its own cache
+// slot (CanonicalKey covers Strategy), and all strategies mine the toy's
+// single flipping pattern.
+func TestStrategyIsASemanticCacheField(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, strategy := range []string{"scan", "tidlist", "bitmap", "auto"} {
+		body := `{"dataset": "toy", "config": {"gamma": 0.6, "epsilon": 0.35, "min_sup": [0.1, 0.1, 0.1], "strategy": "` + strategy + `"}}`
+		status, v := submit(t, ts, body)
+		if status == http.StatusOK && v.CacheHit {
+			t.Fatalf("strategy %q hit the cache of a different strategy", strategy)
+		}
+		done := pollDone(t, ts, v.ID)
+		var res struct {
+			PatternCount int `json:"pattern_count"`
+		}
+		if err := json.Unmarshal(done.Result, &res); err != nil {
+			t.Fatalf("strategy %q: result not JSON: %v", strategy, err)
+		}
+		if res.PatternCount != 1 {
+			t.Fatalf("strategy %q found %d patterns, want 1", strategy, res.PatternCount)
+		}
+		// Re-submitting the same strategy is a hit.
+		status, v = submit(t, ts, body)
+		if status != http.StatusOK || !v.CacheHit {
+			t.Errorf("strategy %q resubmit: status %d cacheHit=%v, want a cache hit", strategy, status, v.CacheHit)
+		}
+	}
+}
+
 func TestSweepJob(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	body := `{"dataset": "toy", "kind": "sweep", "epsilons": [0.1, 0.35, 0.2], "config": ` + toyPatch + `}`
