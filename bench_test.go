@@ -11,10 +11,10 @@ package flipper_test
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
 	flipper "github.com/flipper-mining/flipper"
+	"github.com/flipper-mining/flipper/internal/experiments"
 	"github.com/flipper-mining/flipper/internal/gen"
 	"github.com/flipper-mining/flipper/internal/taxonomy"
 	"github.com/flipper-mining/flipper/internal/txdb"
@@ -216,6 +216,7 @@ func BenchmarkFig9bRealMemory(b *testing.B) {
 			pruning flipper.PruningLevel
 		}{{"naive", flipper.Flipping}, {"full", flipper.Full}} {
 			b.Run(fmt.Sprintf("%s/%s", e.name, v.name), func(b *testing.B) {
+				b.ReportAllocs()
 				cfg := e.ds.cfg
 				cfg.Pruning = v.pruning
 				var peak, bytes int64
@@ -240,6 +241,7 @@ func BenchmarkFig9bRealMemory(b *testing.B) {
 func BenchmarkTable4PatternCounts(b *testing.B) {
 	for _, e := range benchDatasets(b) {
 		b.Run(e.name, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := e.ds.cfg
 			cfg.Pruning = flipper.Basic
 			var pos, neg, flips int64
@@ -282,36 +284,22 @@ func BenchmarkAblationCountingStrategy(b *testing.B) {
 	}
 }
 
-// denseWorkload builds the bitmap backend's home turf: a flat, wide
+// denseWorkload builds the vertical backends' home turf: a flat, wide
 // taxonomy (64 categories × 2 leaves, height 2) and wide (16-item)
 // transactions, so permissive thresholds put every one of the C(128,2) +
 // C(64,2) ≈ 10K pair candidates against a dense level view that barely
-// dedups. Per cell the scan counter enumerates C(16,2) = 120 subsets for
-// each of the 8000 transactions (hash probe + key build each), while the
-// bitmap counter pays 2 vector words per 64 distinct transactions per
-// candidate — plain ANDs over cached, cache-friendly []uint64.
+// dedups. Per cell the scan counter walks each of the 8000 transactions
+// down the candidate trie (every pair exists here, so nothing prunes —
+// the store's worst case), while the bitmap counter pays 2 vector words
+// per 64 distinct transactions per candidate — plain ANDs over cached,
+// cache-friendly []uint64. The workload is shared with the flipbench
+// -json micro suite (experiments.DenseWorkload) so committed BENCH_*.json
+// baselines track this exact benchmark.
 func denseWorkload(b *testing.B) (*txdb.DB, *taxonomy.Tree) {
 	b.Helper()
-	tb := flipper.NewTaxonomyBuilder(nil)
-	for r := 0; r < 64; r++ {
-		for l := 0; l < 2; l++ {
-			if err := tb.AddPath(fmt.Sprintf("cat%02d", r), fmt.Sprintf("leaf%02d.%d", r, l)); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-	tree, err := tb.Build()
+	db, tree, err := experiments.DenseWorkload(8000, 64, 2, 16, 3)
 	if err != nil {
 		b.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(3))
-	db := txdb.New(tree.Dict())
-	for i := 0; i < 8000; i++ {
-		var names []string
-		for j := 0; j < 16; j++ {
-			names = append(names, fmt.Sprintf("leaf%02d.%d", rng.Intn(64), rng.Intn(2)))
-		}
-		db.AddNames(names...)
 	}
 	return db, tree
 }

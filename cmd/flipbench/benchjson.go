@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/flipper-mining/flipper/internal/core"
+	"github.com/flipper-mining/flipper/internal/experiments"
+	"github.com/flipper-mining/flipper/internal/measure"
+)
+
+// The -json mode: run the counting micro-benchmark suite (the same dense
+// workload as BenchmarkCountingDense) under testing.Benchmark and write a
+// machine-readable BENCH_<tag>.json. Committed baselines (BENCH_PR3.json,
+// …) plus the CI artifact of every run give the repo a perf trajectory:
+// compare ns/op and allocs/op across PRs without re-running old code.
+
+// BenchRecord is one benchmark's measurements.
+type BenchRecord struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Counters    map[string]float64 `json:"counters,omitempty"`
+}
+
+// BenchFile is the envelope written to BENCH_<tag>.json.
+type BenchFile struct {
+	Tag        string        `json:"tag"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Workload   string        `json:"workload"`
+	Benchmarks []BenchRecord `json:"benchmarks"`
+}
+
+// runBenchJSON measures every counting strategy on the dense workload and
+// writes the result file.
+func runBenchJSON(path, tag string) error {
+	db, tree, err := experiments.DenseWorkload(8000, 64, 2, 16, 3)
+	if err != nil {
+		return err
+	}
+	cfgFor := func(strategy core.CountStrategy) core.Config {
+		return core.Config{
+			Measure:     measure.Kulczynski,
+			Gamma:       0.3,
+			Epsilon:     0.1,
+			MinSupAbs:   []int64{5, 5},
+			Pruning:     core.Basic,
+			Strategy:    strategy,
+			MaxK:        2,
+			Materialize: true,
+		}
+	}
+	out := BenchFile{
+		Tag:       tag,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Workload:  "dense: 8000 tx × 16 items, 64 cats × 2 leaves (BenchmarkCountingDense)",
+	}
+	for _, s := range []core.CountStrategy{core.CountScan, core.CountTIDList, core.CountBitmap, core.CountAuto} {
+		cfg := cfgFor(s)
+		// One instrumented run for the engine's own counters.
+		res, err := core.Mine(db, tree, cfg)
+		if err != nil {
+			return err
+		}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Mine(db, tree, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out.Benchmarks = append(out.Benchmarks, BenchRecord{
+			Name:        "CountingDense/" + s.String(),
+			Iterations:  br.N,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			Counters: map[string]float64{
+				"candidates_counted": float64(res.Stats.CandidatesCounted),
+				"trie_nodes":         float64(res.Stats.TrieNodes),
+				"probes_pruned":      float64(res.Stats.ProbesPruned),
+				"bitmap_word_ops":    float64(res.Stats.BitmapWordOps),
+				"patterns":           float64(len(res.Patterns)),
+			},
+		})
+		fmt.Fprintf(os.Stderr, "bench %-24s %12.0f ns/op %8d allocs/op\n",
+			"CountingDense/"+s.String(),
+			float64(br.T.Nanoseconds())/float64(br.N), br.AllocsPerOp())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

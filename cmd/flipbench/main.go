@@ -5,12 +5,19 @@
 //	flipbench -list
 //	flipbench -exp fig8a [-scale quick|paper] [-csv out.csv] [-seed 7]
 //	flipbench -exp all   [-scale quick]
+//	flipbench -json BENCH_PR3.json [-tag PR3]
 //
 // Each experiment prints a text table mirroring the corresponding paper
 // artifact; -csv additionally writes machine-readable output. The quick
 // scale (default) shrinks the workloads so the full suite finishes in
 // minutes; -scale paper runs the original sizes (expect the BASIC baseline
 // to take a very long time in the low-support regime, as the paper reports).
+//
+// -json runs the counting micro-benchmark suite (the BenchmarkCountingDense
+// workload under testing.Benchmark) and writes machine-readable results —
+// benchmark name, ns/op, allocs/op, engine counters — to the given file.
+// Committed BENCH_<tag>.json files record the repo's perf trajectory; CI
+// regenerates one per run and uploads it as an artifact.
 package main
 
 import (
@@ -24,13 +31,24 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		scale   = flag.String("scale", "quick", "workload scale: quick or paper")
-		csvDir  = flag.String("csv", "", "directory to write <exp>.csv files into")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		listExp = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale    = flag.String("scale", "quick", "workload scale: quick or paper")
+		csvDir   = flag.String("csv", "", "directory to write <exp>.csv files into")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		listExp  = flag.Bool("list", false, "list available experiments")
+		jsonPath = flag.String("json", "", "run the counting micro-bench suite and write BENCH JSON to this file")
+		tag      = flag.String("tag", "dev", "tag recorded in the -json output")
 	)
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := runBenchJSON(*jsonPath, *tag); err != nil {
+			fmt.Fprintf(os.Stderr, "flipbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		return
+	}
 
 	if *listExp || *exp == "" {
 		fmt.Println("experiments:")

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	flipperd -data DIR [-addr :8080] [-workers 2] [-queue 64] [-cache 128]
-//	         [-history 1000] [-stream]
+//	         [-history 1000] [-stream] [-debug-addr localhost:6060]
 //
 // The data directory holds one subdirectory per dataset, each with a
 // taxonomy.tsv (child<TAB>parent edges) and a baskets.txt (one transaction
@@ -28,6 +28,15 @@
 //
 // Identical submissions are served from the cache (or coalesced onto the
 // in-flight job), so re-issued mines and ε-sweeps cost one computation.
+//
+// -debug-addr (off by default) serves net/http/pprof on a separate
+// listener, so the mining hot paths can be profiled against the live
+// service without exposing profiling endpoints on the API address:
+//
+//	flipperd -data data -debug-addr localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=30
+//
+// See README.md ("Profiling the service") for the workflow.
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +64,7 @@ func main() {
 		cache   = flag.Int("cache", 128, "result cache capacity in entries (0 disables)")
 		history = flag.Int("history", 1000, "max completed jobs kept pollable (older ones are pruned)")
 		stream  = flag.Bool("stream", false, "disk-resident mode: re-read basket files on every pass")
+		debug   = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -73,6 +84,24 @@ func main() {
 	for _, info := range reg.List() {
 		log.Printf("flipperd: dataset %q: %d tx, height %d, %d nodes (stream=%v)",
 			info.Name, info.Transactions, info.Height, info.Nodes, info.Stream)
+	}
+
+	if *debug != "" {
+		// A dedicated mux on a dedicated listener: the profiling surface
+		// never shares an address with the public API, and the default
+		// ServeMux (which net/http/pprof would register on) stays empty.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("flipperd: pprof on http://%s/debug/pprof/", *debug)
+			if err := http.ListenAndServe(*debug, mux); err != nil {
+				log.Printf("flipperd: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	srv := service.NewServer(reg, service.Options{

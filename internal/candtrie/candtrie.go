@@ -1,0 +1,319 @@
+// Package candtrie implements the engine's candidate store: the set of
+// k-itemsets whose supports one cell of the search-space table is counting.
+//
+// The store replaces the former map[string]*entry representation. Entries
+// live in a flat slab — one contiguous item arena plus one support slice,
+// addressed by dense int32 indexes — and are indexed by a prefix trie over
+// item IDs. The trie serves three roles at once:
+//
+//   - membership: Lookup descends k nodes instead of building a 4k-byte key
+//     and hashing it, so Apriori subset checks allocate nothing;
+//   - counting: CountTx walks a transaction's items down the trie, so the
+//     scan counter only ever explores subsets that share a prefix with some
+//     candidate — subsets with no candidate prefix are pruned before they
+//     are enumerated, and no key bytes or map probes appear in the inner
+//     loop;
+//   - determinism: sibling lists are kept sorted by item ID, so Walk visits
+//     entries in lexicographic itemset order — the order the old code
+//     obtained by sorting the map's key strings on every use.
+//
+// Node child lists use the classic first-child/next-sibling encoding with
+// int32 links into one node slab, so the whole structure is three flat
+// slices. A cell frees its store by dropping the single *Store pointer:
+// slabs are released wholesale, with no per-entry cleanup.
+package candtrie
+
+import (
+	"github.com/flipper-mining/flipper/internal/itemset"
+)
+
+// node is one trie node. Links are indexes into Store.nodes; -1 is nil.
+// Siblings are sorted ascending by item, which CountTx exploits to merge
+// child lists against sorted transactions and Walk exploits for
+// lexicographic iteration.
+type node struct {
+	item  itemset.ID
+	child int32 // first child
+	next  int32 // next sibling
+	entry int32 // entry index for depth-k nodes; -1 above
+}
+
+// Store is the candidate store of one cell: all k-itemsets registered for
+// counting, k fixed per store.
+type Store struct {
+	k     int
+	nodes []node       // nodes[0] is the root (item field unused there)
+	ids   []itemset.ID // item arena: entry e owns ids[e*k : (e+1)*k]
+	Sup   []int64      // per-entry support, filled by the counting backends
+
+	// present is the item-membership bitset over [minID, maxID], built by
+	// Freeze; Filter consults it to drop transaction items no candidate
+	// contains before descending.
+	present      []uint64
+	minID, maxID itemset.ID
+	frozen       bool
+
+	// The CSR child index, built by Freeze: node n's children live at
+	// csrItems/csrChild/csrEntry[csrStart[n]:csrStart[n+1]], sorted
+	// ascending by item. CountTx descends these contiguous spans instead of
+	// chasing sibling links — sequential loads, binary search when a span
+	// is much longer than the transaction, and csrEntry keeps terminal hits
+	// from ever touching the node slab.
+	csrStart []int32
+	csrItems []itemset.ID
+	csrChild []int32
+	csrEntry []int32
+}
+
+// New returns an empty store for k-itemsets.
+func New(k int) *Store {
+	return &Store{k: k, nodes: []node{{child: -1, next: -1, entry: -1}}}
+}
+
+// Len returns the number of entries (registered candidates).
+func (s *Store) Len() int { return len(s.Sup) }
+
+// NodeCount returns the number of trie nodes allocated (excluding the root).
+func (s *Store) NodeCount() int { return len(s.nodes) - 1 }
+
+// K returns the itemset size the store holds.
+func (s *Store) K() int { return s.k }
+
+// Items returns entry e's itemset, aliasing the store's arena. The slice is
+// valid for the lifetime of the store and must not be modified.
+func (s *Store) Items(e int32) itemset.Set {
+	return itemset.Set(s.ids[int(e)*s.k : (int(e)+1)*s.k])
+}
+
+// Insert registers a k-itemset and returns its entry index. If the itemset
+// is already present, its existing index is returned with added=false.
+// Insert must not be called concurrently with any other method.
+func (s *Store) Insert(items itemset.Set) (int32, bool) {
+	if len(items) != s.k {
+		panic("candtrie: itemset size does not match store k")
+	}
+	s.frozen = false
+	n := int32(0)
+	for _, id := range items {
+		prev := int32(-1)
+		c := s.nodes[n].child
+		for c != -1 && s.nodes[c].item < id {
+			prev, c = c, s.nodes[c].next
+		}
+		if c == -1 || s.nodes[c].item != id {
+			nn := int32(len(s.nodes))
+			s.nodes = append(s.nodes, node{item: id, child: -1, next: c, entry: -1})
+			if prev == -1 {
+				s.nodes[n].child = nn
+			} else {
+				s.nodes[prev].next = nn
+			}
+			c = nn
+		}
+		n = c
+	}
+	if e := s.nodes[n].entry; e >= 0 {
+		return e, false
+	}
+	e := int32(len(s.Sup))
+	s.nodes[n].entry = e
+	s.ids = append(s.ids, items...)
+	s.Sup = append(s.Sup, 0)
+	return e, true
+}
+
+// Lookup returns the entry index of items, or -1 when absent.
+func (s *Store) Lookup(items itemset.Set) int32 {
+	if len(items) != s.k {
+		return -1
+	}
+	n := int32(0)
+	for _, id := range items {
+		c := s.nodes[n].child
+		for c != -1 && s.nodes[c].item < id {
+			c = s.nodes[c].next
+		}
+		if c == -1 || s.nodes[c].item != id {
+			return -1
+		}
+		n = c
+	}
+	return s.nodes[n].entry
+}
+
+// Walk visits every entry in lexicographic itemset order. The itemset passed
+// to fn aliases the arena; clone to retain.
+func (s *Store) Walk(fn func(e int32, items itemset.Set)) {
+	s.walk(0, fn)
+}
+
+func (s *Store) walk(n int32, fn func(e int32, items itemset.Set)) {
+	for c := s.nodes[n].child; c != -1; c = s.nodes[c].next {
+		if e := s.nodes[c].entry; e >= 0 {
+			fn(e, s.Items(e))
+		} else {
+			s.walk(c, fn)
+		}
+	}
+}
+
+// Freeze builds the read-side indexes: the item-membership bitset and the
+// CSR child spans. It must be called after the last Insert and before
+// Filter/CountTx are used (possibly from multiple goroutines); all
+// read-side methods are then safe for concurrent use.
+func (s *Store) Freeze() {
+	if s.frozen {
+		return
+	}
+	s.frozen = true
+	s.present = nil
+	s.csrStart = make([]int32, len(s.nodes)+1)
+	s.csrItems = s.csrItems[:0]
+	s.csrChild = s.csrChild[:0]
+	s.csrEntry = s.csrEntry[:0]
+	for n := range s.nodes {
+		s.csrStart[n] = int32(len(s.csrItems))
+		for c := s.nodes[n].child; c != -1; c = s.nodes[c].next {
+			s.csrItems = append(s.csrItems, s.nodes[c].item)
+			s.csrChild = append(s.csrChild, c)
+			s.csrEntry = append(s.csrEntry, s.nodes[c].entry)
+		}
+	}
+	s.csrStart[len(s.nodes)] = int32(len(s.csrItems))
+	if len(s.nodes) == 1 {
+		// Empty store: an inverted sentinel range makes has() reject every
+		// ID without consulting the (nil) bitset.
+		s.minID, s.maxID = 1, 0
+		return
+	}
+	min, max := s.nodes[1].item, s.nodes[1].item
+	for _, n := range s.nodes[1:] {
+		if n.item < min {
+			min = n.item
+		}
+		if n.item > max {
+			max = n.item
+		}
+	}
+	s.minID, s.maxID = min, max
+	s.present = make([]uint64, (int(max)-int(min))>>6+1)
+	for _, n := range s.nodes[1:] {
+		off := uint(n.item - min)
+		s.present[off>>6] |= 1 << (off & 63)
+	}
+}
+
+// has reports whether any candidate contains id. Freeze must have run.
+func (s *Store) has(id itemset.ID) bool {
+	if id < s.minID || id > s.maxID {
+		return false
+	}
+	off := uint(id - s.minID)
+	return s.present[off>>6]&(1<<(off&63)) != 0
+}
+
+// Filter appends the items of tx that occur in at least one candidate to buf
+// and returns it. Narrowing transactions to candidate-relevant items before
+// CountTx keeps the descent's merge loops short. Freeze must have run.
+func (s *Store) Filter(tx itemset.Set, buf itemset.Set) itemset.Set {
+	for _, id := range tx {
+		if s.has(id) {
+			buf = append(buf, id)
+		}
+	}
+	return buf
+}
+
+// CountTx adds w to counts[e] for every candidate e that is a subset of tx,
+// by descending the trie along tx's items. It returns the number of
+// candidates matched (paths that reached depth k) — the probes a flat
+// hash-map scan would have spent building keys for; the caller can subtract
+// that from C(len(tx), k) to measure how many subset probes the trie pruned.
+//
+// counts must have length Len(). tx must be canonical (sorted ascending);
+// pass the result of Filter for best performance. Safe for concurrent use
+// after Freeze (counts are caller-owned).
+func (s *Store) CountTx(tx itemset.Set, w int64, counts []int64) int64 {
+	if len(tx) < s.k {
+		return 0
+	}
+	return s.countRec(0, 0, tx, w, counts)
+}
+
+func (s *Store) countRec(n int32, depth int, tx itemset.Set, w int64, counts []int64) int64 {
+	var hits int64
+	need := s.k - depth // items still required to complete a candidate
+	lo, hi := s.csrStart[n], s.csrStart[n+1]
+	items := s.csrItems[lo:hi]
+	if len(items) > 16*len(tx) {
+		// Child span much wider than the transaction: binary-search each
+		// item instead of merging past mostly-absent children. The
+		// threshold is deliberately high — binary search's data-dependent
+		// branches mispredict ~every level, while the merge's skip branch
+		// is predictable, so merging wins until the span dwarfs the
+		// transaction (measured on BenchmarkCountingDense).
+		for ti := 0; len(tx)-ti >= need; ti++ {
+			t := tx[ti]
+			a, b := 0, len(items)
+			for a < b {
+				mid := (a + b) >> 1
+				if items[mid] < t {
+					a = mid + 1
+				} else {
+					b = mid
+				}
+			}
+			if a == len(items) || items[a] != t {
+				continue
+			}
+			if e := s.csrEntry[lo+int32(a)]; e >= 0 {
+				counts[e] += w
+				hits++
+			} else {
+				hits += s.countRec(s.csrChild[lo+int32(a)], depth+1, tx[ti+1:], w, counts)
+			}
+		}
+		return hits
+	}
+	entries := s.csrEntry[lo:hi]
+	if need == 1 {
+		// Terminal level: every match is a candidate hit; a skip-heavy
+		// two-pointer merge with no recursion or entry test in the loop.
+		ci := 0
+		for _, t := range tx {
+			for ci < len(items) && items[ci] < t {
+				ci++
+			}
+			if ci == len(items) {
+				break
+			}
+			if items[ci] == t {
+				counts[entries[ci]] += w
+				hits++
+				ci++
+			}
+		}
+		return hits
+	}
+	ci, ti := 0, 0
+	for ci < len(items) && len(tx)-ti >= need {
+		t := tx[ti]
+		for items[ci] < t {
+			ci++
+			if ci == len(items) {
+				return hits
+			}
+		}
+		if items[ci] == t {
+			if e := entries[ci]; e >= 0 {
+				counts[e] += w
+				hits++
+			} else {
+				hits += s.countRec(s.csrChild[lo+int32(ci)], depth+1, tx[ti+1:], w, counts)
+			}
+			ci++
+		}
+		ti++
+	}
+	return hits
+}

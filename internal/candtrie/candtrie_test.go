@@ -1,0 +1,191 @@
+package candtrie
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/flipper-mining/flipper/internal/itemset"
+)
+
+func TestInsertLookupWalk(t *testing.T) {
+	s := New(2)
+	sets := []itemset.Set{
+		itemset.New(3, 4), itemset.New(1, 2), itemset.New(1, 9), itemset.New(2, 3),
+	}
+	idx := make(map[string]int32)
+	for _, set := range sets {
+		e, added := s.Insert(set)
+		if !added {
+			t.Fatalf("Insert(%v) reported duplicate", set)
+		}
+		idx[set.Key()] = e
+	}
+	if s.Len() != len(sets) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(sets))
+	}
+	// Re-inserting returns the existing entry.
+	if e, added := s.Insert(itemset.New(1, 2)); added || e != idx[itemset.New(1, 2).Key()] {
+		t.Fatalf("duplicate insert: e=%d added=%v", e, added)
+	}
+	if s.Len() != len(sets) {
+		t.Fatalf("Len after duplicate = %d", s.Len())
+	}
+	for _, set := range sets {
+		if e := s.Lookup(set); e != idx[set.Key()] {
+			t.Fatalf("Lookup(%v) = %d, want %d", set, e, idx[set.Key()])
+		}
+		if !s.Items(idx[set.Key()]).Equal(set) {
+			t.Fatalf("Items(%d) = %v, want %v", idx[set.Key()], s.Items(idx[set.Key()]), set)
+		}
+	}
+	for _, absent := range []itemset.Set{itemset.New(1, 3), itemset.New(4, 9), itemset.New(9, 11)} {
+		if e := s.Lookup(absent); e != -1 {
+			t.Fatalf("Lookup(%v) = %d, want -1", absent, e)
+		}
+	}
+	// Walk is lexicographic regardless of insertion order.
+	var walked []itemset.Set
+	s.Walk(func(e int32, items itemset.Set) {
+		walked = append(walked, items.Clone())
+	})
+	if len(walked) != len(sets) {
+		t.Fatalf("Walk visited %d entries", len(walked))
+	}
+	for i := 1; i < len(walked); i++ {
+		if itemset.Compare(walked[i-1], walked[i]) >= 0 {
+			t.Fatalf("Walk out of order: %v before %v", walked[i-1], walked[i])
+		}
+	}
+	if !walked[0].Equal(itemset.New(1, 2)) {
+		t.Fatalf("first walked = %v", walked[0])
+	}
+}
+
+func TestFilterAndCountTx(t *testing.T) {
+	s := New(2)
+	s.Insert(itemset.New(1, 2))
+	s.Insert(itemset.New(2, 3))
+	s.Freeze()
+
+	var buf itemset.Set
+	buf = s.Filter(itemset.New(1, 2, 3, 99), buf[:0])
+	if !itemset.Set(buf).Equal(itemset.New(1, 2, 3)) {
+		t.Fatalf("Filter = %v", buf)
+	}
+
+	counts := make([]int64, s.Len())
+	hits := s.CountTx(buf, 5, counts)
+	if hits != 2 {
+		t.Fatalf("hits = %d", hits)
+	}
+	for _, set := range []itemset.Set{itemset.New(1, 2), itemset.New(2, 3)} {
+		if c := counts[s.Lookup(set)]; c != 5 {
+			t.Fatalf("count of %v = %d", set, c)
+		}
+	}
+	// Too-narrow transactions contribute nothing.
+	before := append([]int64(nil), counts...)
+	if h := s.CountTx(itemset.New(2), 1, counts); h != 0 {
+		t.Fatalf("narrow tx hit %d", h)
+	}
+	for i := range counts {
+		if counts[i] != before[i] {
+			t.Fatal("narrow transaction changed counts")
+		}
+	}
+	// A transaction matching only a dead-end prefix counts nothing: {1,3}
+	// shares the prefix 1 with candidate {1,2} but never completes it, and
+	// the descent abandons the branch without enumerating subsets.
+	if h := s.CountTx(itemset.New(1, 3), 1, counts); h != 0 {
+		t.Fatalf("dead-end prefix produced %d hits", h)
+	}
+	for i := range counts {
+		if counts[i] != before[i] {
+			t.Fatal("dead-end transaction changed counts")
+		}
+	}
+}
+
+// TestCountTxAgainstBruteForce drives random stores and random transactions
+// against the obvious reference: for every candidate, count the weighted
+// transactions containing it.
+func TestCountTxAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + rng.Intn(3)
+		universe := 6 + rng.Intn(10)
+		s := New(k)
+		var cands []itemset.Set
+		seen := map[string]bool{}
+		for i := 0; i < 3+rng.Intn(25); i++ {
+			ids := make([]itemset.ID, 0, k)
+			for len(ids) < k {
+				id := itemset.ID(rng.Intn(universe))
+				dup := false
+				for _, x := range ids {
+					if x == id {
+						dup = true
+					}
+				}
+				if !dup {
+					ids = append(ids, id)
+				}
+			}
+			set := itemset.New(ids...)
+			if seen[set.Key()] {
+				continue
+			}
+			seen[set.Key()] = true
+			cands = append(cands, set)
+			s.Insert(set)
+		}
+		s.Freeze()
+		counts := make([]int64, s.Len())
+		want := make([]int64, s.Len())
+		var buf itemset.Set
+		for txi := 0; txi < 30; txi++ {
+			var ids []itemset.ID
+			w := int64(1 + rng.Intn(4))
+			for j := 0; j < rng.Intn(universe+2); j++ {
+				ids = append(ids, itemset.ID(rng.Intn(universe)))
+			}
+			tx := itemset.New(ids...)
+			buf = s.Filter(tx, buf[:0])
+			s.CountTx(buf, w, counts)
+			for _, c := range cands {
+				if c.SubsetOf(tx) {
+					want[s.Lookup(c)] += w
+				}
+			}
+		}
+		for i := range counts {
+			if counts[i] != want[i] {
+				t.Fatalf("trial %d: count of %v = %d, brute force = %d",
+					trial, s.Items(int32(i)), counts[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s := New(2)
+	s.Freeze()
+	if s.Len() != 0 || s.NodeCount() != 0 {
+		t.Fatalf("empty store: Len=%d NodeCount=%d", s.Len(), s.NodeCount())
+	}
+	if e := s.Lookup(itemset.New(1, 2)); e != -1 {
+		t.Fatalf("Lookup on empty = %d", e)
+	}
+	if got := s.Filter(itemset.New(1, 2, 3), nil); len(got) != 0 {
+		t.Fatalf("Filter on empty = %v", got)
+	}
+	// ID 0 is a valid dictionary-assigned ID and must not slip past the
+	// empty store's range check into the nil bitset.
+	if got := s.Filter(itemset.Set{0}, nil); len(got) != 0 {
+		t.Fatalf("Filter({0}) on empty = %v", got)
+	}
+	if h := s.CountTx(itemset.New(1, 2, 3), 1, nil); h != 0 {
+		t.Fatalf("CountTx on empty = %d", h)
+	}
+	s.Walk(func(int32, itemset.Set) { t.Fatal("Walk visited an entry") })
+}

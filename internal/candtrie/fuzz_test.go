@@ -1,0 +1,104 @@
+package candtrie
+
+import (
+	"testing"
+
+	"github.com/flipper-mining/flipper/internal/itemset"
+)
+
+// decodeTxs turns arbitrary fuzz bytes into a small weighted database with
+// the same total encoding the bitmap fuzzer uses: a zero byte ends the
+// current transaction, any other byte contributes its low nibble as an item
+// ID and its high nibble to the transaction's weight.
+func decodeTxs(data []byte) (txs []itemset.Set, weights []int64) {
+	var cur []itemset.ID
+	var w int64 = 1
+	flush := func() {
+		txs = append(txs, itemset.New(cur...))
+		weights = append(weights, w)
+		cur, w = nil, 1
+	}
+	for _, b := range data {
+		if b == 0 {
+			flush()
+			continue
+		}
+		cur = append(cur, itemset.ID(b&0x0f))
+		w += int64(b >> 4)
+	}
+	if len(cur) > 0 {
+		flush()
+	}
+	return txs, weights
+}
+
+// FuzzSupportEquivalence is the trie-store half of the counting-equivalence
+// property: for every database the fuzzer can encode, trie-descent counting
+// over the full 2- and 3-itemset candidate universe must report exactly the
+// supports of the retained brute-force map[string]int64 reference — the
+// representation the store replaced.
+func FuzzSupportEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 1, 2, 0, 0x21, 0x32})
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{0xff, 0xf1, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1024 {
+			return // keep each execution fast
+		}
+		txs, weights := decodeTxs(data)
+		for k := 2; k <= 3; k++ {
+			checkK(t, txs, weights, k)
+		}
+	})
+}
+
+func checkK(t *testing.T, txs []itemset.Set, weights []int64, k int) {
+	t.Helper()
+	// The nibble encoding bounds the universe to 0..15; register every
+	// k-itemset over it as a candidate.
+	s := New(k)
+	universe := itemset.Set{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	itemset.KSubsets(universe, k, func(sub itemset.Set) {
+		s.Insert(sub.Clone())
+	})
+	s.Freeze()
+
+	// Trie side: filter + descent, exactly the scan counter's hot loop.
+	counts := make([]int64, s.Len())
+	var buf itemset.Set
+	for i, tx := range txs {
+		buf = s.Filter(tx, buf[:0])
+		s.CountTx(buf, weights[i], counts)
+	}
+
+	// Reference side: the old representation — subset enumeration probing a
+	// map keyed by itemset key strings.
+	ref := make(map[string]int64)
+	for i, tx := range txs {
+		itemset.KSubsets(tx, k, func(sub itemset.Set) {
+			ref[sub.Key()] += weights[i]
+		})
+	}
+
+	s.Walk(func(e int32, items itemset.Set) {
+		if counts[e] != ref[items.Key()] {
+			t.Fatalf("k=%d: trie support of %v = %d, map reference = %d (n=%d)",
+				k, items, counts[e], ref[items.Key()], len(txs))
+		}
+	})
+	// And nothing the reference counted is missing from the store.
+	for key, want := range ref {
+		set, err := itemset.ParseKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := s.Lookup(set)
+		if e < 0 {
+			t.Fatalf("k=%d: reference counted %v but store has no entry", k, set)
+		}
+		if counts[e] != want {
+			t.Fatalf("k=%d: support of %v = %d, want %d", k, set, counts[e], want)
+		}
+	}
+}

@@ -48,7 +48,7 @@ func (m *miner) basicCell(h, k int) *cell {
 				if ri == m.tax.RootOf(items[j]) {
 					continue
 				}
-				m.addCandidate(c, itemset.Set{items[i], items[j]}, nil)
+				m.addCandidate(c, itemset.Set{items[i], items[j]})
 			}
 		}
 		return c
@@ -57,11 +57,7 @@ func (m *miner) basicCell(h, k int) *cell {
 	if prev == nil || prev.frequent < k {
 		return c
 	}
-	keys := sortedKeys(prev.entries)
-	sets := make([]itemset.Set, len(keys))
-	for i, key := range keys {
-		sets[i] = prev.entries[key].items
-	}
+	sets := prev.frequentSets() // lexicographic, so the join can break early
 	scratch := make(itemset.Set, k-1)
 	for i := 0; i < len(sets); i++ {
 		for j := i + 1; j < len(sets); j++ {
@@ -79,24 +75,27 @@ func (m *miner) basicCell(h, k int) *cell {
 				m.stats.SubsetPruned++
 				continue
 			}
-			m.addCandidate(c, joined, nil)
+			m.addCandidate(c, joined)
 		}
 	}
 	return c
 }
 
 // finishBasicCell counts and labels a BASIC cell. Unlike finishCell it keeps
-// no chain pointers (chains are assembled afterwards) and — crucially for
+// no chain records (chains are assembled afterwards) and — crucially for
 // the memory comparison — never frees anything.
 func (m *miner) finishBasicCell(c *cell) {
 	if c.candidates > 0 {
 		m.count(c)
 	}
 	thr := m.minSup[c.h]
-	for key, e := range c.entries {
-		if e.sup < thr {
-			delete(c.entries, key)
-			c.infreq[key] = struct{}{}
+	sup1 := m.sup1[c.h]
+	sups := make([]int64, c.k)
+	for i := range c.meta {
+		e := &c.meta[i]
+		sup := c.store.Sup[i]
+		if sup < thr {
+			e.infrequent = true
 			// BASIC keeps all candidates resident until the run ends, so no
 			// dropResident here: the paper's baseline stored every counted
 			// candidate (40 GB on its server) until post-processing.
@@ -104,11 +103,10 @@ func (m *miner) finishBasicCell(c *cell) {
 		}
 		c.frequent++
 		m.stats.FrequentItemsets++
-		sups := make([]int64, len(e.items))
-		for i, id := range e.items {
-			sups[i] = m.sup1[c.h][id]
+		for j, id := range c.store.Items(int32(i)) {
+			sups[j] = sup1[id]
 		}
-		e.corr = m.cfg.Measure.Corr(e.sup, sups)
+		e.corr = m.cfg.Measure.Corr(sup, sups)
 		switch {
 		case e.corr >= m.cfg.Gamma:
 			e.label = LabelPositive
@@ -130,21 +128,25 @@ func (m *miner) finishBasicCell(c *cell) {
 
 // collectBasic post-processes the fully populated table: a leaf itemset is a
 // flipping pattern when its generalization at every level is frequent,
-// labeled, and alternates signs.
+// labeled, and alternates signs. Generalization lookups descend the row's
+// trie instead of building key strings.
 func (m *miner) collectBasic() []Pattern {
 	var out []Pattern
 	for k, leafCell := range m.rows[m.height] {
-		for _, e := range leafCell.entries {
+		for i := range leafCell.meta {
+			e := &leafCell.meta[i]
+			if e.infrequent || !e.label.Labeled() {
+				continue
+			}
+			leafItems := leafCell.store.Items(int32(i))
 			chain := make([]LevelInfo, m.height)
 			chain[m.height-1] = LevelInfo{
-				Level: m.height, Items: e.items, Support: e.sup, Corr: e.corr, Label: e.label,
-			}
-			if !e.label.Labeled() {
-				continue
+				Level: m.height, Items: leafItems, Support: leafCell.store.Sup[i],
+				Corr: e.corr, Label: e.label,
 			}
 			ok := true
 			for h := m.height - 1; h >= 1; h-- {
-				items, gok := m.tax.GeneralizeSet(e.items, h)
+				items, gok := m.tax.GeneralizeSet(leafItems, h)
 				if !gok || len(items) != k {
 					ok = false
 					break
@@ -154,19 +156,25 @@ func (m *miner) collectBasic() []Pattern {
 					ok = false
 					break
 				}
-				pe, found := row.entries[items.Key()]
-				if !found || !pe.label.Labeled() || !chain[h].Label.Flips(pe.label) {
+				pi := row.store.Lookup(items)
+				if pi < 0 || row.meta[pi].infrequent {
+					ok = false
+					break
+				}
+				pe := &row.meta[pi]
+				if !pe.label.Labeled() || !chain[h].Label.Flips(pe.label) {
 					ok = false
 					break
 				}
 				chain[h-1] = LevelInfo{
-					Level: h, Items: pe.items, Support: pe.sup, Corr: pe.corr, Label: pe.label,
+					Level: h, Items: row.store.Items(pi), Support: row.store.Sup[pi],
+					Corr: pe.corr, Label: pe.label,
 				}
 			}
 			if !ok {
 				continue
 			}
-			p := Pattern{Leaf: e.items, Chain: chain}
+			p := Pattern{Leaf: leafItems, Chain: chain}
 			p.computeGap()
 			m.stats.AliveItemsets++
 			out = append(out, p)

@@ -16,7 +16,7 @@ func (m *miner) row1Cell(k int) *cell {
 		items := m.frequentItems(1)
 		for i := 0; i < len(items); i++ {
 			for j := i + 1; j < len(items); j++ {
-				m.addCandidate(c, itemset.Set{items[i], items[j]}, nil)
+				m.addCandidate(c, itemset.Set{items[i], items[j]})
 			}
 		}
 		return c
@@ -26,18 +26,16 @@ func (m *miner) row1Cell(k int) *cell {
 		return c
 	}
 	// Apriori join: pairs of frequent (k-1)-itemsets sharing a (k-2)-prefix.
-	keys := sortedKeys(prev.entries)
-	sets := make([]itemset.Set, len(keys))
-	for i, key := range keys {
-		sets[i] = prev.entries[key].items
-	}
+	// The trie walk yields them in lexicographic order, which the join
+	// exploits: once the prefix diverges, no later operand can match.
+	sets := prev.frequentSets()
 	scratch := make(itemset.Set, k-1)
 	for i := 0; i < len(sets); i++ {
 		for j := i + 1; j < len(sets); j++ {
 			joined, ok := itemset.Join(sets[i], sets[j])
 			if !ok {
-				// Keys sort like itemsets, so once the prefix diverges no
-				// later j can join with i.
+				// Lexicographic order: once the prefix diverges no later j
+				// can join with i.
 				break
 			}
 			// Row-1 cells are complete: every (k-1)-subset must be present
@@ -46,20 +44,22 @@ func (m *miner) row1Cell(k int) *cell {
 				m.stats.SubsetPruned++
 				continue
 			}
-			m.addCandidate(c, joined, nil)
+			m.addCandidate(c, joined)
 		}
 	}
 	return c
 }
 
 // allSubsetsFrequent checks the standard Apriori condition against a
-// complete cell. The first two subsets are the join operands; skip them.
+// complete cell by trie descent — no key bytes, no map probes. The first
+// two subsets are the join operands; skip them.
 func (m *miner) allSubsetsFrequent(prev *cell, joined itemset.Set, scratch itemset.Set) bool {
 	k := len(joined)
 	for drop := 0; drop < k-2; drop++ {
 		copy(scratch, joined[:drop])
 		copy(scratch[drop:], joined[drop+1:])
-		if _, ok := prev.entries[scratch.Key()]; !ok {
+		e := prev.store.Lookup(scratch)
+		if e < 0 || prev.meta[e].infrequent {
 			return false
 		}
 	}
@@ -88,13 +88,12 @@ func (m *miner) childCell(h, k int) *cell {
 	idx := make([]int, k)
 	combo := make([]itemset.ID, k)
 	scratch := make(itemset.Set, k-1)
-	for _, key := range sortedKeys(parentCell.entries) {
-		p := parentCell.entries[key]
-		if !p.alive {
-			continue
+	parentCell.store.Walk(func(pe int32, pItems itemset.Set) {
+		pm := &parentCell.meta[pe]
+		if !pm.alive {
+			return
 		}
-		ok := true
-		for i, pid := range p.items {
+		for i, pid := range pItems {
 			lists[i] = lists[i][:0]
 			for _, ch := range m.tax.ChildrenAt(pid) {
 				if _, f := freq[ch]; !f {
@@ -106,12 +105,8 @@ func (m *miner) childCell(h, k int) *cell {
 				lists[i] = append(lists[i], ch)
 			}
 			if len(lists[i]) == 0 {
-				ok = false
-				break
+				return
 			}
-		}
-		if !ok {
-			continue
 		}
 		// Cartesian product of the child lists. Children of distinct
 		// parents are distinct nodes, so each combination is a k-itemset.
@@ -126,7 +121,7 @@ func (m *miner) childCell(h, k int) *cell {
 			if left != nil && m.hasInfrequentSubset(left, cand, scratch) {
 				m.stats.SubsetPruned++
 			} else {
-				m.addCandidate(c, cand, p)
+				m.addChildCandidate(c, cand, pm.chain, pm.label)
 			}
 			// Advance the mixed-radix counter.
 			i := k - 1
@@ -142,31 +137,63 @@ func (m *miner) childCell(h, k int) *cell {
 				break
 			}
 		}
-	}
+	})
 	return c
 }
 
 // hasInfrequentSubset reports whether any (k-1)-subset of cand was counted
-// in the left cell and found infrequent. Subsets that were never generated
-// there (possible under vertical gating) prove nothing and are ignored.
+// in the left cell and found infrequent, by trie lookup. Subsets that were
+// never generated there (possible under vertical gating) prove nothing and
+// are ignored.
 func (m *miner) hasInfrequentSubset(left *cell, cand itemset.Set, scratch itemset.Set) bool {
 	k := len(cand)
 	for drop := 0; drop < k; drop++ {
 		copy(scratch, cand[:drop])
 		copy(scratch[drop:], cand[drop+1:])
-		if _, bad := left.infreq[scratch.Key()]; bad {
+		e := left.store.Lookup(scratch)
+		if e >= 0 && left.meta[e].infrequent {
 			return true
 		}
 	}
 	return false
 }
 
-// addCandidate registers a candidate itemset for counting.
-func (m *miner) addCandidate(c *cell, items itemset.Set, parent *entry) {
-	c.entries[items.Key()] = &entry{items: items, parent: parent}
+// addCandidate registers a row-1 or BASIC candidate itemset for counting.
+func (m *miner) addCandidate(c *cell, items itemset.Set) {
+	m.insertCandidate(c, items, -1, LabelNone)
+}
+
+// addChildCandidate registers a child-row candidate, carrying the alive
+// parent's chain-arena index and label so labeling never needs the parent
+// cell again (its row may be freed before this cell's chains assemble).
+func (m *miner) addChildCandidate(c *cell, items itemset.Set, parentChain int32, parentLabel Label) {
+	m.insertCandidate(c, items, parentChain, parentLabel)
+}
+
+func (m *miner) insertCandidate(c *cell, items itemset.Set, parentChain int32, parentLabel Label) {
+	if _, added := c.store.Insert(items); !added {
+		return // duplicate registration; generation never produces these
+	}
+	c.meta = append(c.meta, entryMeta{
+		parentChain: parentChain,
+		chain:       -1,
+		parentLabel: parentLabel,
+	})
 	c.candidates++
 	m.stats.CandidatesCounted++
 	m.stats.addResident(1, c.k)
+}
+
+// frequentSets returns the cell's frequent itemsets in lexicographic order,
+// aliasing the store's arena (valid for the cell's lifetime).
+func (c *cell) frequentSets() []itemset.Set {
+	out := make([]itemset.Set, 0, c.frequent)
+	c.store.Walk(func(e int32, items itemset.Set) {
+		if !c.meta[e].infrequent {
+			out = append(out, items)
+		}
+	})
+	return out
 }
 
 // frequentItems returns the frequent 1-items of a level in ascending ID
@@ -185,16 +212,4 @@ func (m *miner) frequentItems(h int) []itemset.ID {
 
 func sortIDs(ids []itemset.ID) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-}
-
-// sortedKeys returns the map keys in ascending order. Itemset keys sort the
-// same way the itemsets do, which the Apriori join exploits, and sorted
-// iteration keeps candidate generation fully deterministic.
-func sortedKeys(entries map[string]*entry) []string {
-	keys := make([]string, 0, len(entries))
-	for k := range entries {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }

@@ -5,13 +5,17 @@ import (
 
 	"github.com/flipper-mining/flipper/internal/bitmap"
 	"github.com/flipper-mining/flipper/internal/itemset"
+	"github.com/flipper-mining/flipper/internal/txdb"
 )
 
 // count fills in the support of every candidate in the cell with one pass
 // over the data, one set of tid-list intersections, or one batch of bitmap
-// AND+popcounts.
+// AND+popcounts. The cell's trie is frozen here (item-membership bitset
+// built), after which the store is safe for concurrent readers.
 func (m *miner) count(c *cell) {
 	m.stats.DBScans++
+	m.stats.TrieNodes += int64(c.store.NodeCount())
+	c.store.Freeze()
 	strategy := m.cfg.Strategy
 	if strategy == CountAuto {
 		strategy = m.chooseStrategy(c)
@@ -30,23 +34,29 @@ func (m *miner) count(c *cell) {
 	}
 }
 
-// scanProbeWeight converts one scan probe (k-subset key build + hash-map
-// lookup) into the model's base unit — one sequential word/element
+// scanProbeWeight converts one scan probe (one subset reached by trie
+// descent) into the model's base unit — one sequential word/element
 // operation, which is what a tid-list merge step and a bitmap AND both
-// cost. Calibrated on the dense counting benchmark (BenchmarkCountingDense:
-// ~40ns per probe vs ~5ns per word op on a 2.1GHz Xeon).
-const scanProbeWeight = 8
+// cost. The trie store cut the probe from a key build plus a string-map
+// lookup (~8 units pre-PR3) to a handful of node/item comparisons;
+// recalibrated on BenchmarkCountingDense (~12ns per probed subset vs ~5ns
+// per word op on a 2.1GHz Xeon). The C(w,k) term stays an upper bound:
+// descent abandons subsets with no candidate prefix early, so dense cells
+// overestimate scan cost slightly and the model errs toward the vertical
+// backends exactly where they win.
+const scanProbeWeight = 2.5
 
 // chooseStrategy is the CountAuto cost model, in units of one sequential
-// word/element operation. Scan cost: every distinct transaction enumerates
-// C(w, k) subsets, each a hash probe worth scanProbeWeight units. Tid-list
-// cost: every candidate intersects k sorted lists whose combined length
-// averages k·(level volume / level item count). Bitmap cost: every candidate
-// ANDs k vectors of ⌈distinct/64⌉ words, plus a one-time per-level build of
-// one word-vector per item. Scans win when candidates dwarf the database
-// (their cost is candidate-independent), tid-lists win when a few candidates
-// face sparse lists, and bitmaps win when a high candidate count meets a
-// dense level — many probes amortizing the fixed-width vectors.
+// word/element operation. Scan cost: every distinct transaction explores at
+// most C(w, k) subsets by trie descent, each worth scanProbeWeight units.
+// Tid-list cost: every candidate intersects k sorted lists whose combined
+// length averages k·(level volume / level item count). Bitmap cost: every
+// candidate ANDs k vectors of ⌈distinct/64⌉ words, plus a one-time
+// per-level build of one word-vector per item. Scans win when candidates
+// dwarf the database (their cost is candidate-independent), tid-lists win
+// when a few candidates face sparse lists, and bitmaps win when a high
+// candidate count meets a dense level — many probes amortizing the
+// fixed-width vectors.
 func (m *miner) chooseStrategy(c *cell) CountStrategy {
 	view := m.views[c.h]
 	items := len(view.Support)
@@ -75,74 +85,41 @@ func (m *miner) chooseStrategy(c *cell) CountStrategy {
 	return best
 }
 
-// candidateIndex freezes a cell's candidates into a slice with a key→index
-// map, so workers can accumulate into plain int64 slices.
-type candidateIndex struct {
-	ents     []*entry
-	index    map[string]int
-	universe map[itemset.ID]struct{}
-}
-
-func buildIndex(c *cell) *candidateIndex {
-	ci := &candidateIndex{
-		ents:     make([]*entry, 0, len(c.entries)),
-		index:    make(map[string]int, len(c.entries)),
-		universe: make(map[itemset.ID]struct{}),
-	}
-	for key, e := range c.entries {
-		ci.index[key] = len(ci.ents)
-		ci.ents = append(ci.ents, e)
-		for _, id := range e.items {
-			ci.universe[id] = struct{}{}
+// scanTxs counts one slice of weighted transactions into counts by trie
+// descent: filter the transaction to candidate-relevant items, then walk
+// the items down the trie so only subsets sharing a candidate prefix are
+// ever enumerated. Returns the number of subset probes the descent skipped
+// relative to a flat C(w,k) enumeration.
+func scanTxs(c *cell, data []txdb.WeightedTx, counts []int64, filtered itemset.Set) (pruned int64) {
+	k := c.k
+	st := c.store
+	for _, wt := range data {
+		filtered = st.Filter(wt.Items, filtered[:0])
+		if len(filtered) < k {
+			continue
 		}
+		hits := st.CountTx(filtered, wt.Weight, counts)
+		pruned += itemset.Binomial(len(filtered), k) - hits
 	}
-	return ci
-}
-
-// probeTx enumerates the k-subsets of a transaction's candidate-relevant
-// items and adds w to each matching candidate's local counter.
-func (ci *candidateIndex) probeTx(tx itemset.Set, k int, w int64, counts []int64, filtered itemset.Set, keyBuf []byte) itemset.Set {
-	filtered = filtered[:0]
-	for _, id := range tx {
-		if _, ok := ci.universe[id]; ok {
-			filtered = append(filtered, id)
-		}
-	}
-	if len(filtered) < k {
-		return filtered
-	}
-	itemset.KSubsets(filtered, k, func(sub itemset.Set) {
-		key := itemset.AppendKey(keyBuf[:0], sub)
-		if i, ok := ci.index[string(key)]; ok {
-			counts[i] += w
-		}
-	})
-	return filtered
+	return pruned
 }
 
 // countScanMaterialized counts over the deduplicated level view, fanning the
 // weighted transactions out to cfg.workers() goroutines.
 func (m *miner) countScanMaterialized(c *cell) {
-	ci := buildIndex(c)
 	data := m.distinct[c.h]
 	workers := m.cfg.workers()
 	if workers > len(data) {
 		workers = len(data)
 	}
 	if workers <= 1 {
-		counts := make([]int64, len(ci.ents))
 		var filtered itemset.Set
-		keyBuf := make([]byte, 0, 4*c.k)
-		for _, wt := range data {
-			filtered = ci.probeTx(wt.Items, c.k, wt.Weight, counts, filtered, keyBuf)
-		}
-		for i, e := range ci.ents {
-			e.sup = counts[i]
-		}
+		m.stats.ProbesPruned += scanTxs(c, data, c.store.Sup, filtered)
 		return
 	}
 	chunk := (len(data) + workers - 1) / workers
 	results := make([][]int64, workers)
+	pruned := make([]int64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -156,34 +133,34 @@ func (m *miner) countScanMaterialized(c *cell) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			counts := make([]int64, len(ci.ents))
+			counts := make([]int64, c.store.Len())
 			var filtered itemset.Set
-			keyBuf := make([]byte, 0, 4*c.k)
-			for _, wt := range data[lo:hi] {
-				filtered = ci.probeTx(wt.Items, c.k, wt.Weight, counts, filtered, keyBuf)
-			}
+			pruned[w] = scanTxs(c, data[lo:hi], counts, filtered)
 			results[w] = counts
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	for i, e := range ci.ents {
-		var sup int64
-		for _, counts := range results {
-			if counts != nil {
-				sup += counts[i]
-			}
+	sup := c.store.Sup
+	for _, counts := range results {
+		if counts == nil {
+			continue
 		}
-		e.sup = sup
+		for i, n := range counts {
+			sup[i] += n
+		}
+	}
+	for _, n := range pruned {
+		m.stats.ProbesPruned += n
 	}
 }
 
 // countScanStreaming is the disk-resident mode: one sequential pass over the
 // raw source with on-the-fly generalization to the cell's level.
 func (m *miner) countScanStreaming(c *cell) {
-	ci := buildIndex(c)
-	counts := make([]int64, len(ci.ents))
+	st := c.store
+	counts := st.Sup
 	var filtered itemset.Set
-	keyBuf := make([]byte, 0, 4*c.k)
+	var pruned int64
 	buf := make([]itemset.ID, 0, 32)
 	_ = m.src.Scan(func(tx itemset.Set) error {
 		buf = buf[:0]
@@ -193,33 +170,39 @@ func (m *miner) countScanStreaming(c *cell) {
 			}
 		}
 		g := itemset.New(buf...)
-		filtered = ci.probeTx(g, c.k, 1, counts, filtered, keyBuf)
+		filtered = st.Filter(g, filtered[:0])
+		if len(filtered) < c.k {
+			return nil
+		}
+		hits := st.CountTx(filtered, 1, counts)
+		pruned += itemset.Binomial(len(filtered), c.k) - hits
 		return nil
 	})
-	for i, e := range ci.ents {
-		e.sup = counts[i]
-	}
+	m.stats.ProbesPruned += pruned
 }
 
 // countTID counts by intersecting per-item transaction-ID lists, building
-// the level's lists on first use.
+// the level's lists on first use. Candidates are read straight off the
+// cell's slab; workers own disjoint index ranges, so they write disjoint
+// slots of the shared support slice.
 func (m *miner) countTID(c *cell) {
 	lists := m.tidLists(c.h)
-	ci := buildIndex(c)
+	st := c.store
+	n := st.Len()
 	workers := m.cfg.workers()
-	if workers > len(ci.ents) {
-		workers = len(ci.ents)
+	if workers > n {
+		workers = n
 	}
 	if workers < 1 {
 		workers = 1
 	}
 	var wg sync.WaitGroup
-	chunk := (len(ci.ents) + workers - 1) / workers
+	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > len(ci.ents) {
-			hi = len(ci.ents)
+		if hi > n {
+			hi = n
 		}
 		if lo >= hi {
 			continue
@@ -227,9 +210,9 @@ func (m *miner) countTID(c *cell) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			var bufs [2][]int32
-			for _, e := range ci.ents[lo:hi] {
-				e.sup = intersectSupport(e.items, lists, &bufs)
+			var scratch tidScratch
+			for e := lo; e < hi; e++ {
+				st.Sup[e] = intersectSupport(st.Items(int32(e)), lists, &scratch)
 			}
 		}(lo, hi)
 	}
@@ -242,22 +225,23 @@ func (m *miner) countTID(c *cell) {
 // and cached on the miner, like the tid lists.
 func (m *miner) countBitmap(c *cell) {
 	ix := m.bitmapIndex(c.h)
-	ci := buildIndex(c)
+	st := c.store
+	n := st.Len()
 	workers := m.cfg.workers()
-	if workers > len(ci.ents) {
-		workers = len(ci.ents)
+	if workers > n {
+		workers = n
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	chunk := (len(ci.ents) + workers - 1) / workers
+	chunk := (n + workers - 1) / workers
 	ops := make([]int64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > len(ci.ents) {
-			hi = len(ci.ents)
+		if hi > n {
+			hi = n
 		}
 		if lo >= hi {
 			continue
@@ -267,9 +251,9 @@ func (m *miner) countBitmap(c *cell) {
 			defer wg.Done()
 			scratch := make([]bitmap.Vector, c.k)
 			var local int64
-			for _, e := range ci.ents[lo:hi] {
-				sup, n := ix.SupportInto(e.items, scratch)
-				e.sup = sup
+			for e := lo; e < hi; e++ {
+				sup, n := ix.SupportInto(st.Items(int32(e)), scratch)
+				st.Sup[e] = sup
 				local += n
 			}
 			ops[w] = local
@@ -315,12 +299,20 @@ func (m *miner) tidLists(h int) map[itemset.ID][]int32 {
 	return lists
 }
 
+// tidScratch is one tid-list worker's reusable state: the two alternating
+// intersection targets plus the length-ordered list-of-lists, hoisted out
+// of intersectSupport so the per-candidate loop allocates nothing.
+type tidScratch struct {
+	bufs    [2][]int32
+	ordered [][]int32
+}
+
 // intersectSupport returns the size of the k-way intersection of the items'
-// tid lists, intersecting smallest-first for early exit. The two scratch
-// buffers alternate as intersection targets so the map-owned lists are never
+// tid lists, intersecting smallest-first for early exit. The scratch buffers
+// alternate as intersection targets so the map-owned lists are never
 // written to.
-func intersectSupport(items itemset.Set, lists map[itemset.ID][]int32, bufs *[2][]int32) int64 {
-	ordered := make([][]int32, 0, len(items))
+func intersectSupport(items itemset.Set, lists map[itemset.ID][]int32, s *tidScratch) int64 {
+	ordered := s.ordered[:0]
 	for _, id := range items {
 		l := lists[id]
 		if len(l) == 0 {
@@ -328,6 +320,7 @@ func intersectSupport(items itemset.Set, lists map[itemset.ID][]int32, bufs *[2]
 		}
 		ordered = append(ordered, l)
 	}
+	s.ordered = ordered // retain the (possibly regrown) backing array
 	// Selection sort by length; k is tiny.
 	for i := range ordered {
 		min := i
@@ -340,7 +333,7 @@ func intersectSupport(items itemset.Set, lists map[itemset.ID][]int32, bufs *[2]
 	}
 	cur := ordered[0] // borrowed from the map; read-only
 	for step, next := range ordered[1:] {
-		dst := bufs[step%2][:0]
+		dst := s.bufs[step%2][:0]
 		i, j := 0, 0
 		for i < len(cur) && j < len(next) {
 			switch {
@@ -354,7 +347,7 @@ func intersectSupport(items itemset.Set, lists map[itemset.ID][]int32, bufs *[2]
 				j++
 			}
 		}
-		bufs[step%2] = dst
+		s.bufs[step%2] = dst
 		cur = dst
 		if len(cur) == 0 {
 			return 0

@@ -18,7 +18,7 @@ func TestIntersectSupport(t *testing.T) {
 		3: {4, 8},
 		4: {},
 	}
-	var bufs [2][]int32
+	var scratch tidScratch
 	cases := []struct {
 		items itemset.Set
 		want  int64
@@ -30,7 +30,7 @@ func TestIntersectSupport(t *testing.T) {
 		{itemset.New(1, 2, 9), 0}, // missing item entirely
 	}
 	for _, c := range cases {
-		if got := intersectSupport(c.items, lists, &bufs); got != c.want {
+		if got := intersectSupport(c.items, lists, &scratch); got != c.want {
 			t.Errorf("intersect(%v) = %d, want %d", c.items, got, c.want)
 		}
 	}
@@ -72,37 +72,39 @@ func TestIntersectSupportRandomAgainstMap(t *testing.T) {
 				expected++
 			}
 		}
-		var bufs [2][]int32
-		if got := intersectSupport(itemset.New(items...), lists, &bufs); got != expected {
+		var scratch tidScratch
+		if got := intersectSupport(itemset.New(items...), lists, &scratch); got != expected {
 			t.Fatalf("trial %d: got %d, want %d", trial, got, expected)
 		}
 	}
 }
 
-func TestProbeTx(t *testing.T) {
+// TestScanTxsTrieDescent exercises the scan counter's hot loop — filter to
+// candidate-relevant items, descend the trie, account pruned probes —
+// directly against a hand-built cell.
+func TestScanTxsTrieDescent(t *testing.T) {
 	c := newCell(1, 2)
-	e1 := &entry{items: itemset.New(1, 2)}
-	e2 := &entry{items: itemset.New(2, 3)}
-	c.entries[e1.items.Key()] = e1
-	c.entries[e2.items.Key()] = e2
-	ci := buildIndex(c)
-	counts := make([]int64, len(ci.ents))
-	var filtered itemset.Set
-	keyBuf := make([]byte, 0, 8)
+	var m miner
+	m.addCandidate(c, itemset.New(1, 2))
+	m.addCandidate(c, itemset.New(2, 3))
+	c.store.Freeze()
+	counts := make([]int64, c.store.Len())
 	// Transaction {1,2,3,99}: 99 is filtered out by the candidate universe;
-	// both pairs match with weight 5.
-	filtered = ci.probeTx(itemset.New(1, 2, 3, 99), 2, 5, counts, filtered, keyBuf)
-	if len(filtered) != 3 {
-		t.Errorf("filtered = %v", filtered)
+	// both pairs match with weight 5. Of the C(3,2)=3 remaining subsets,
+	// {1,3} has no candidate and is pruned by the descent.
+	data := []txdb.WeightedTx{{Items: itemset.New(1, 2, 3, 99), Weight: 5}}
+	pruned := scanTxs(c, data, counts, nil)
+	if pruned != 1 {
+		t.Errorf("pruned = %d, want 1", pruned)
 	}
-	for i, e := range ci.ents {
-		if counts[i] != 5 {
-			t.Errorf("count of %v = %d", e.items, counts[i])
+	for _, set := range []itemset.Set{itemset.New(1, 2), itemset.New(2, 3)} {
+		if got := counts[c.store.Lookup(set)]; got != 5 {
+			t.Errorf("count of %v = %d", set, got)
 		}
 	}
 	// Too-narrow transaction contributes nothing.
 	before := append([]int64(nil), counts...)
-	ci.probeTx(itemset.New(2), 2, 1, counts, filtered, keyBuf)
+	scanTxs(c, []txdb.WeightedTx{{Items: itemset.New(2), Weight: 1}}, counts, nil)
 	for i := range counts {
 		if counts[i] != before[i] {
 			t.Error("narrow transaction changed counts")

@@ -26,10 +26,13 @@ level-1 fanout, and Config.MaxK.
 Rows 1 and 2 are computed zigzag — Q(1,2), Q(2,2), Q(1,3), Q(2,3), … — so
 the termination check always has two vertically consecutive cells in hand.
 Rows 3..H follow one at a time, left to right. After finishing row h the
-cells of row h−2 are released; entries referenced by alive chains survive
-through their parent pointers, which is how the paper's "eliminate
-non-flipping patterns in rows h−1 and h" keeps memory proportional to two
-rows plus the output (Figure 9(b)).
+cells of row h−2 are released wholesale — each cell's candidate slabs
+(item arena, supports, trie nodes, metadata) drop with the cell pointer.
+Alive entries copy their level info into the miner's chain arena as they
+are labeled, linked upward by index, so chains survive row frees without
+keeping any cell alive. This is how the paper's "eliminate non-flipping
+patterns in rows h−1 and h" keeps memory proportional to two rows plus the
+output (Figure 9(b)).
 
 # Candidate generation (cells.go)
 
@@ -56,33 +59,41 @@ patterns}, keeping the miner complete; the randomized equivalence suite
 
 # Counting (counting.go)
 
-CountScan is the paper's strategy: one sequential pass per cell. Per-level
-views are materialized once and deduplicated (txdb.LevelView.Dedup) —
-generalization collapses many raw transactions onto few distinct ones, so
-upper rows count over tiny weighted sets. Each transaction probes the
-candidate hash with its k-subsets (itemset.KSubsets + allocation-free
-AppendKey). Work is fanned out over Config.Parallelism workers that merge
-plain int64 count slices. With Config.Materialize=false the engine instead
-re-reads the Source every pass — the paper's disk-resident mode.
-CountTIDList intersects per-item transaction-id lists, CountBitmap ANDs
-per-item bit vectors over the distinct weighted transactions and
-pop-counts the result (internal/bitmap; vectors are built lazily per level
-and cached, like the tid lists), and CountAuto picks per cell using a
-three-way cost estimate in word-operation units (a scan probe is
-calibrated as 8 of those; see chooseStrategy).
+Candidates live in a trie-indexed slab store (internal/candtrie): items in
+one arena, supports in one slice, and a prefix trie over item IDs indexing
+both. CountScan is the paper's strategy: one sequential pass per cell.
+Per-level views are materialized once and deduplicated
+(txdb.LevelView.Dedup) — generalization collapses many raw transactions
+onto few distinct ones, so upper rows count over tiny weighted sets. Each
+transaction is filtered to candidate-relevant items and walked down the
+trie (candtrie.Store.CountTx): only subsets sharing a prefix with some
+candidate are ever enumerated, and no key bytes or map probes appear in
+the inner loop (Stats.ProbesPruned counts what the descent skipped). Work
+is fanned out over Config.Parallelism workers that merge plain int64 count
+slices. With Config.Materialize=false the engine instead re-reads the
+Source every pass — the paper's disk-resident mode. CountTIDList
+intersects per-item transaction-id lists, CountBitmap ANDs per-item bit
+vectors over the distinct weighted transactions and pop-counts the result
+(internal/bitmap; vectors are built lazily per level and cached, like the
+tid lists) — both iterate the candidate slab directly. CountAuto picks per
+cell using a three-way cost estimate in word-operation units (a trie scan
+probe is calibrated as 2.5 of those; see chooseStrategy).
 
 # Labeling and chains (engine.go finishCell)
 
 A counted itemset with sup ≥ θ_h gets Corr computed from the level's
 single-item supports, then a label: positive (≥ γ), negative (≤ ε) or none.
 alive(1,k) = labeled; alive(h,k) = labeled ∧ parent alive ∧ label flips
-parent's. Alive entries in row H are the flipping patterns; assemble walks
-the parent pointers to emit the full chain.
+parent's (the parent's chain index and label are captured at generation
+time, so no cross-row pointers exist). Alive entries in row H are the
+flipping patterns; assemble walks the chain-arena links to emit the full
+chain.
 
 # Pruning ladder (paper §4.2–4.3)
 
-  - support: infrequent candidates are dropped and their keys remembered
-    for the subset checks of the cell to the right.
+  - support: infrequent candidates are marked in the slab (their items
+    stay for the subset checks of the cell to the right, until the row is
+    freed).
   - flipping: only alive entries expand vertically; dead rows are freed.
   - TPG (Theorem 3): if two vertically consecutive cells hold at least one
     frequent itemset and no positive one, columns ≥ k of the row pair are

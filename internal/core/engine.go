@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/flipper-mining/flipper/internal/bitmap"
+	"github.com/flipper-mining/flipper/internal/candtrie"
 	"github.com/flipper-mining/flipper/internal/itemset"
 	"github.com/flipper-mining/flipper/internal/taxonomy"
 	"github.com/flipper-mining/flipper/internal/txdb"
@@ -20,21 +21,29 @@ type Result struct {
 	Stats Stats
 }
 
-// entry is one counted itemset in a cell of the search-space table.
-type entry struct {
-	items  itemset.Set
-	sup    int64
-	corr   float64
-	label  Label
-	alive  bool
-	parent *entry // generalization at the previous level; nil in row 1
+// entryMeta is the engine-side metadata of one candidate slab entry. Items
+// and supports live in the cell's candtrie.Store; this parallel slab holds
+// what labeling and chain linking add on top. Chain references are indexes
+// into the miner's chain arena, never pointers into other cells, so freeing
+// a row releases its slabs wholesale.
+type entryMeta struct {
+	corr        float64
+	parentChain int32 // chain-arena index of the alive parent; -1 in row 1
+	chain       int32 // chain-arena index once this entry is alive; -1
+	label       Label
+	parentLabel Label // label of the parent entry at generation time
+	alive       bool
+	infrequent  bool // counted, sup < θ_h; retained for subset checks only
 }
 
 // cell is one Q(h,k) of the table M: the counted k-itemsets at level h.
+// Candidates live in a trie-indexed slab store with a parallel metadata
+// slab; membership, subset checks and scan counting all go through the trie
+// (no key strings, no map probes).
 type cell struct {
 	h, k       int
-	entries    map[string]*entry   // frequent counted itemsets, by Key
-	infreq     map[string]struct{} // counted but infrequent itemset keys
+	store      *candtrie.Store
+	meta       []entryMeta
 	candidates int
 	frequent   int
 	positive   int
@@ -43,7 +52,18 @@ type cell struct {
 }
 
 func newCell(h, k int) *cell {
-	return &cell{h: h, k: k, entries: make(map[string]*entry), infreq: make(map[string]struct{})}
+	return &cell{h: h, k: k, store: candtrie.New(k)}
+}
+
+// chainRec is one link of a flipping chain in the miner's chain arena. When
+// an entry turns out alive, its level info is copied here (items cloned out
+// of the cell's arena), so pattern assembly never needs a freed row's slab.
+type chainRec struct {
+	items  itemset.Set
+	sup    int64
+	corr   float64
+	label  Label
+	parent int32 // chain-arena index of the level-(h-1) link; -1 at level 1
 }
 
 // miner holds the state of one run.
@@ -68,6 +88,10 @@ type miner struct {
 	excluded []map[itemset.ID]bool // SIBP-excluded items per level
 	rset     []map[itemset.ID]bool // R_h of the most recent column per level
 	rsetCol  []int                 // column the R set belongs to
+
+	// chains is the chain arena: one record per alive entry, linked upward
+	// by index. It is the only candidate state that outlives freeRow.
+	chains []chainRec
 
 	stats Stats
 	maxK  int
@@ -297,26 +321,31 @@ func (m *miner) tpg(up, down *cell) bool {
 }
 
 // finishCell counts a cell's candidates, labels the frequent ones, links
-// chain liveness, and drops infrequent candidates keeping only their keys.
+// chain liveness into the chain arena, and marks infrequent candidates
+// (their items stay in the slab for Apriori subset checks until the row is
+// freed, but they leave the resident-candidate metric immediately).
 func (m *miner) finishCell(c *cell) {
 	if c.candidates > 0 {
 		m.count(c)
 	}
 	thr := m.minSup[c.h]
-	for key, e := range c.entries {
-		if e.sup < thr {
-			delete(c.entries, key)
-			c.infreq[key] = struct{}{}
+	sup1 := m.sup1[c.h]
+	sups := make([]int64, c.k)
+	for i := range c.meta {
+		e := &c.meta[i]
+		sup := c.store.Sup[i]
+		if sup < thr {
+			e.infrequent = true
 			m.stats.dropResident(1, c.k)
 			continue
 		}
+		items := c.store.Items(int32(i))
 		c.frequent++
 		m.stats.FrequentItemsets++
-		sups := make([]int64, len(e.items))
-		for i, id := range e.items {
-			sups[i] = m.sup1[c.h][id]
+		for j, id := range items {
+			sups[j] = sup1[id]
 		}
-		e.corr = m.cfg.Measure.Corr(e.sup, sups)
+		e.corr = m.cfg.Measure.Corr(sup, sups)
 		switch {
 		case e.corr >= m.cfg.Gamma:
 			e.label = LabelPositive
@@ -330,11 +359,21 @@ func (m *miner) finishCell(c *cell) {
 		if c.h == 1 {
 			e.alive = e.label.Labeled()
 		} else {
-			e.alive = e.label.Labeled() && e.parent != nil && e.parent.alive && e.label.Flips(e.parent.label)
+			// childCell only expands alive parents, so parentChain ≥ 0 holds
+			// for every generated candidate; the check guards hand-built cells.
+			e.alive = e.label.Labeled() && e.parentChain >= 0 && e.label.Flips(e.parentLabel)
 		}
 		if e.alive {
 			c.alive++
 			m.stats.AliveItemsets++
+			e.chain = int32(len(m.chains))
+			m.chains = append(m.chains, chainRec{
+				items:  items.Clone(),
+				sup:    sup,
+				corr:   e.corr,
+				label:  e.label,
+				parent: e.parentChain,
+			})
 		}
 	}
 	if m.cfg.KeepCellStats {
@@ -345,10 +384,12 @@ func (m *miner) finishCell(c *cell) {
 	}
 }
 
-// freeRow releases the cell maps of a completed row. Entries referenced by
-// alive descendants stay reachable through their parent pointers, so chains
-// survive for pattern assembly while dead itemsets become collectable — the
-// paper's memory story for Figure 9(b).
+// freeRow releases the cells of a completed row. Because chain links live in
+// the miner's chain arena (alive entries copy their level info there as they
+// are labeled), dropping the row's cell pointers frees the candidate slabs —
+// item arena, support slice, trie nodes, metadata — wholesale, with no
+// per-entry bookkeeping. This is the paper's memory story for Figure 9(b):
+// only alive chain links outlive their row.
 func (m *miner) freeRow(h int) {
 	if h < 1 || m.rows[h] == nil {
 		return
@@ -367,31 +408,32 @@ func (m *miner) collect() []Pattern {
 		return nil
 	}
 	for _, c := range leafRow {
-		for _, e := range c.entries {
-			if !e.alive {
+		for i := range c.meta {
+			if !c.meta[i].alive {
 				continue
 			}
-			out = append(out, m.assemble(e))
+			out = append(out, m.assemble(c.meta[i].chain))
 		}
 	}
 	return out
 }
 
-// assemble walks the parent chain of a leaf entry into a Pattern.
-func (m *miner) assemble(e *entry) Pattern {
+// assemble walks a leaf entry's chain-arena links into a Pattern.
+func (m *miner) assemble(ci int32) Pattern {
 	chain := make([]LevelInfo, m.height)
-	cur := e
+	cur := ci
 	for h := m.height; h >= 1; h-- {
+		r := &m.chains[cur]
 		chain[h-1] = LevelInfo{
 			Level:   h,
-			Items:   cur.items,
-			Support: cur.sup,
-			Corr:    cur.corr,
-			Label:   cur.label,
+			Items:   r.items,
+			Support: r.sup,
+			Corr:    r.corr,
+			Label:   r.label,
 		}
-		cur = cur.parent
+		cur = r.parent
 	}
-	p := Pattern{Leaf: e.items, Chain: chain}
+	p := Pattern{Leaf: chain[m.height-1].Items, Chain: chain}
 	p.computeGap()
 	return p
 }

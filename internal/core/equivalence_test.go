@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/flipper-mining/flipper/internal/itemset"
 	"github.com/flipper-mining/flipper/internal/measure"
 	"github.com/flipper-mining/flipper/internal/taxonomy"
 	"github.com/flipper-mining/flipper/internal/txdb"
@@ -205,6 +206,141 @@ func TestBitmapMatchesScanOnRandomData(t *testing.T) {
 		if b.Stats.CandidatesCounted > 0 && (b.Stats.BitmapBuilds == 0 || b.Stats.BitmapWordOps == 0) {
 			t.Fatalf("trial %d: bitmap run counted %d candidates without bitmap work",
 				trial, b.Stats.CandidatesCounted)
+		}
+	}
+}
+
+// bruteForceReference mines flipping patterns with none of the engine's
+// machinery: map[string]int64 support counting by subset enumeration over
+// materialized level views, then chain assembly by generalization lookups.
+// It is the retained map-based reference the trie-indexed candidate store
+// replaced, kept as an independent oracle.
+func bruteForceReference(t *testing.T, db *txdb.DB, tree *taxonomy.Tree, cfg Config) string {
+	t.Helper()
+	H := tree.Height()
+	minSup, err := cfg.validate(H, db.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxK := cfg.MaxK
+	if maxK <= 0 {
+		t.Fatal("bruteForceReference needs cfg.MaxK to bound enumeration")
+	}
+	// Count every 2..maxK-subset of every transaction at every level into
+	// string-keyed maps — the representation the candidate store replaced.
+	counts := make([]map[string]int64, H+1)
+	views := make([]*txdb.LevelView, H+1)
+	for h := 1; h <= H; h++ {
+		lv, err := txdb.Materialize(db, tree, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[h] = lv
+		counts[h] = make(map[string]int64)
+		for _, tx := range lv.Tx {
+			for k := 2; k <= maxK; k++ {
+				itemset.KSubsets(tx, k, func(sub itemset.Set) {
+					counts[h][sub.Key()]++
+				})
+			}
+		}
+	}
+	label := func(h int, items itemset.Set) (Label, int64, float64, bool) {
+		sup := counts[h][items.Key()]
+		if sup < minSup[h] {
+			return LabelNone, 0, 0, false
+		}
+		sups := make([]int64, len(items))
+		for i, id := range items {
+			sups[i] = views[h].Support[id]
+		}
+		corr := cfg.Measure.Corr(sup, sups)
+		switch {
+		case corr >= cfg.Gamma:
+			return LabelPositive, sup, corr, true
+		case corr <= cfg.Epsilon:
+			return LabelNegative, sup, corr, true
+		}
+		return LabelNone, sup, corr, true
+	}
+	// A leaf-level itemset is a flipping pattern when its generalization at
+	// every level keeps k distinct items, is frequent, labeled, and the
+	// labels alternate down the chain.
+	var lines []string
+	for key := range counts[H] {
+		leaf, err := itemset.ParseKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := len(leaf)
+		chain := make([]LevelInfo, H)
+		ok := true
+		for h := H; h >= 1; h-- {
+			items, gok := tree.GeneralizeSet(leaf, h)
+			if !gok || len(items) != k {
+				ok = false
+				break
+			}
+			lab, sup, corr, frequent := label(h, items)
+			if !frequent || lab == LabelNone {
+				ok = false
+				break
+			}
+			if h < H && !chain[h].Label.Flips(lab) {
+				ok = false
+				break
+			}
+			chain[h-1] = LevelInfo{Level: h, Items: items, Support: sup, Corr: corr, Label: lab}
+		}
+		if !ok {
+			continue
+		}
+		var sb strings.Builder
+		for _, li := range chain {
+			fmt.Fprintf(&sb, "L%d%s|%d|%.9f|%s;", li.Level, tree.FormatSet(li.Items), li.Support, li.Corr, li.Label)
+		}
+		lines = append(lines, sb.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestTrieStoreMatchesMapReference is the acceptance property of the
+// trie-indexed candidate store: across every counting strategy and every
+// pruning level, the engine's mined output — patterns, supports,
+// correlations, labels — must be byte-identical to what the retained
+// brute-force map-based reference derives with no trie anywhere.
+func TestTrieStoreMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		db, tree := randomDataset(rng)
+		cfg := Config{
+			Measure:     measure.Kulczynski,
+			Gamma:       0.3,
+			Epsilon:     0.1,
+			MinSupAbs:   []int64{2, 1, 1},
+			MaxK:        3,
+			Materialize: true,
+		}
+		want := bruteForceReference(t, db, tree, cfg)
+		for _, pruning := range Levels() {
+			for _, strategy := range []CountStrategy{CountScan, CountTIDList, CountBitmap, CountAuto} {
+				c := cfg
+				c.Pruning = pruning
+				c.Strategy = strategy
+				res, err := Mine(db, tree, c)
+				if err != nil {
+					t.Fatalf("trial %d %v/%v: %v", trial, pruning, strategy, err)
+				}
+				if got := fingerprint(res, tree); got != want {
+					t.Fatalf("trial %d: %v/%v diverged from the map-based reference.\nreference:\n%s\ngot:\n%s",
+						trial, pruning, strategy, want, got)
+				}
+			}
 		}
 	}
 }

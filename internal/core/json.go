@@ -135,6 +135,8 @@ type StatsJSON struct {
 	SIBPExcludedItems int64  `json:"sibp_excluded_items"`
 	BitmapBuilds      int64  `json:"bitmap_builds"`
 	BitmapWordOps     int64  `json:"bitmap_word_ops"`
+	TrieNodes         int64  `json:"trie_nodes"`
+	ProbesPruned      int64  `json:"probes_pruned"`
 	PeakCandidates    int64  `json:"peak_candidates"`
 	PeakBytes         int64  `json:"peak_bytes"`
 	ElapsedNS         int64  `json:"elapsed_ns"`
@@ -167,6 +169,8 @@ func (s *Stats) JSON() StatsJSON {
 		SIBPExcludedItems: s.SIBPExcludedItems,
 		BitmapBuilds:      s.BitmapBuilds,
 		BitmapWordOps:     s.BitmapWordOps,
+		TrieNodes:         s.TrieNodes,
+		ProbesPruned:      s.ProbesPruned,
 		PeakCandidates:    s.PeakCandidates,
 		PeakBytes:         s.PeakBytes,
 		ElapsedNS:         int64(s.Elapsed),

@@ -18,8 +18,12 @@ import (
 // sibpUpdate computes R_h(k) from a freshly counted cell.
 func (m *miner) sibpUpdate(h, k int, c *cell) {
 	maxCorr := make(map[itemset.ID]float64)
-	for _, e := range c.entries {
-		for _, id := range e.items {
+	for i := range c.meta {
+		e := &c.meta[i]
+		if e.infrequent {
+			continue
+		}
+		for _, id := range c.store.Items(int32(i)) {
 			if e.corr > maxCorr[id] {
 				maxCorr[id] = e.corr
 			}

@@ -10,6 +10,7 @@ package itemset
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -30,7 +31,7 @@ func New(ids ...ID) Set {
 	}
 	s := make(Set, len(ids))
 	copy(s, ids)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	// Deduplicate in place.
 	out := s[:1]
 	for _, id := range s[1:] {
@@ -94,6 +95,32 @@ func (s Set) Equal(t Set) bool {
 		}
 	}
 	return true
+}
+
+// Compare orders itemsets lexicographically by item sequence, with a proper
+// prefix sorting before its extensions. The order agrees with the byte order
+// of Key, so replacing key-sorted iteration with Compare-sorted iteration
+// preserves determinism without building any key strings.
+func Compare(s, t Set) int {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case s[i] < t[i]:
+			return -1
+		case s[i] > t[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(s) < len(t):
+		return -1
+	case len(s) > len(t):
+		return 1
+	}
+	return 0
 }
 
 // SubsetOf reports whether every item of s is in t. Both must be canonical.

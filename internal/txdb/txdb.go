@@ -9,7 +9,7 @@ package txdb
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"github.com/flipper-mining/flipper/internal/dict"
 	"github.com/flipper-mining/flipper/internal/itemset"
@@ -203,25 +203,24 @@ type WeightedTx struct {
 }
 
 // Dedup merges identical transactions of the view into weighted ones,
-// ordered deterministically by itemset key.
+// ordered deterministically in lexicographic itemset order (the same order
+// the former key-string sort produced). Sorting references and merging
+// adjacent runs avoids the per-transaction key allocations of the old
+// map[string] implementation — this runs once per level on every mine.
 func (lv *LevelView) Dedup() []WeightedTx {
-	byKey := make(map[string]*WeightedTx)
-	for _, tx := range lv.Tx {
-		k := tx.Key()
-		if w, ok := byKey[k]; ok {
-			w.Weight++
-		} else {
-			byKey[k] = &WeightedTx{Items: tx, Weight: 1}
+	if len(lv.Tx) == 0 {
+		return nil
+	}
+	sorted := make([]itemset.Set, len(lv.Tx))
+	copy(sorted, lv.Tx)
+	slices.SortFunc(sorted, itemset.Compare)
+	out := make([]WeightedTx, 0, len(sorted))
+	for _, tx := range sorted {
+		if n := len(out); n > 0 && out[n-1].Items.Equal(tx) {
+			out[n-1].Weight++
+			continue
 		}
-	}
-	keys := make([]string, 0, len(byKey))
-	for k := range byKey {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]WeightedTx, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, *byKey[k])
+		out = append(out, WeightedTx{Items: tx, Weight: 1})
 	}
 	return out
 }
