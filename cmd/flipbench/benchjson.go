@@ -28,12 +28,16 @@ type BenchRecord struct {
 	Counters    map[string]float64 `json:"counters,omitempty"`
 }
 
-// BenchFile is the envelope written to BENCH_<tag>.json.
+// BenchFile is the envelope written to BENCH_<tag>.json. MaxProcs records
+// the core budget of the measuring machine: the sharded records scale with
+// it, so a 1-core run legitimately shows flat ns/op across shard counts
+// (the record then pins sharding overhead, not speedup).
 type BenchFile struct {
 	Tag        string        `json:"tag"`
 	GoVersion  string        `json:"go_version"`
 	GOOS       string        `json:"goos"`
 	GOARCH     string        `json:"goarch"`
+	MaxProcs   int           `json:"maxprocs"`
 	Workload   string        `json:"workload"`
 	Benchmarks []BenchRecord `json:"benchmarks"`
 }
@@ -62,10 +66,10 @@ func runBenchJSON(path, tag string) error {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
 		Workload:  "dense: 8000 tx × 16 items, 64 cats × 2 leaves (BenchmarkCountingDense)",
 	}
-	for _, s := range []core.CountStrategy{core.CountScan, core.CountTIDList, core.CountBitmap, core.CountAuto} {
-		cfg := cfgFor(s)
+	record := func(name string, cfg core.Config) error {
 		// One instrumented run for the engine's own counters.
 		res, err := core.Mine(db, tree, cfg)
 		if err != nil {
@@ -80,7 +84,7 @@ func runBenchJSON(path, tag string) error {
 			}
 		})
 		out.Benchmarks = append(out.Benchmarks, BenchRecord{
-			Name:        "CountingDense/" + s.String(),
+			Name:        name,
 			Iterations:  br.N,
 			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
 			AllocsPerOp: br.AllocsPerOp(),
@@ -90,12 +94,31 @@ func runBenchJSON(path, tag string) error {
 				"trie_nodes":         float64(res.Stats.TrieNodes),
 				"probes_pruned":      float64(res.Stats.ProbesPruned),
 				"bitmap_word_ops":    float64(res.Stats.BitmapWordOps),
+				"shards":             float64(res.Stats.Shards),
+				"shard_merge_ns":     float64(res.Stats.ShardMergeNs),
 				"patterns":           float64(len(res.Patterns)),
 			},
 		})
-		fmt.Fprintf(os.Stderr, "bench %-24s %12.0f ns/op %8d allocs/op\n",
-			"CountingDense/"+s.String(),
-			float64(br.T.Nanoseconds())/float64(br.N), br.AllocsPerOp())
+		fmt.Fprintf(os.Stderr, "bench %-32s %12.0f ns/op %8d allocs/op\n",
+			name, float64(br.T.Nanoseconds())/float64(br.N), br.AllocsPerOp())
+		return nil
+	}
+	for _, s := range []core.CountStrategy{core.CountScan, core.CountTIDList, core.CountBitmap, core.CountAuto} {
+		if err := record("CountingDense/"+s.String(), cfgFor(s)); err != nil {
+			return err
+		}
+	}
+	// Shard-count scaling of the parallel backends on the same workload —
+	// the BENCH_PR5 sharding story next to the per-backend baselines.
+	for _, s := range []core.CountStrategy{core.CountScan, core.CountBitmap} {
+		for _, shards := range []int{2, 4, 8} {
+			cfg := cfgFor(s)
+			cfg.Shards = shards
+			name := fmt.Sprintf("CountingDense/%s/shards=%d", s.String(), shards)
+			if err := record(name, cfg); err != nil {
+				return err
+			}
+		}
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -14,10 +14,12 @@
 // to take a very long time in the low-support regime, as the paper reports).
 //
 // -json runs the counting micro-benchmark suite (the BenchmarkCountingDense
-// workload under testing.Benchmark) and writes machine-readable results —
-// benchmark name, ns/op, allocs/op, engine counters — to the given file.
-// Committed BENCH_<tag>.json files record the repo's perf trajectory; CI
-// regenerates one per run and uploads it as an artifact.
+// workload under testing.Benchmark, per backend and per shard count) and
+// writes machine-readable results — benchmark name, ns/op, allocs/op,
+// engine counters, the machine's GOMAXPROCS — to the given file. Committed
+// BENCH_<tag>.json files record the repo's perf trajectory; CI regenerates
+// one per run and uploads it as an artifact. The "sharding" experiment
+// (-exp sharding) prints the shard-count scaling table for this machine.
 package main
 
 import (

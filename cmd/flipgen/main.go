@@ -1,18 +1,24 @@
 // Command flipgen writes synthetic datasets (taxonomy + baskets) in the
-// formats the flipper CLI consumes.
+// formats the flipper CLI and the flipperd service consume.
 //
 // Usage:
 //
-//	flipgen -out DIR synthetic [-n 100000] [-width 5] [-roots 10] [-fanout 5]
-//	                           [-height 4] [-items 1000] [-seed 1]
-//	flipgen -out DIR dataset -name groceries|census|medline [-scale 1.0] [-seed 1]
-//	flipgen -out DIR toy
+//	flipgen -out DIR [-shards 0] synthetic [-n 100000] [-width 5] [-roots 10]
+//	                           [-fanout 5] [-height 4] [-items 1000] [-seed 1]
+//	flipgen -out DIR [-shards 0] dataset -name groceries|census|medline [-scale 1.0] [-seed 1]
+//	flipgen -out DIR [-shards 0] toy
 //
 // "synthetic" emits the paper's Srikant & Agrawal-style workload of
 // Section 5.1; "dataset" emits one of the reality-check simulators with its
 // planted patterns; "toy" emits the worked example of Figure 4. Each mode
 // writes taxonomy.tsv and baskets.txt into -out, plus a README.txt stating
 // the thresholds to mine with.
+//
+// -shards N writes the sharded on-disk layout instead of baskets.txt: a
+// shards/ subdirectory holding N basket files of contiguous transaction
+// ranges (shard000.txt, shard001.txt, …). Both flipper (-db DIR/shards) and
+// flipperd recognize the layout and mine the shards in parallel, streaming
+// them without ever materializing the whole database when -stream is set.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 
 func main() {
 	out := flag.String("out", "", "output directory (created if missing)")
+	shards := flag.Int("shards", 0, "write shards/shardNNN.txt basket shards instead of baskets.txt (0 = single file)")
 	flag.Parse()
 	args := flag.Args()
 	if *out == "" || len(args) == 0 {
@@ -40,18 +47,18 @@ func main() {
 	}
 	switch args[0] {
 	case "synthetic":
-		synthetic(*out, args[1:])
+		synthetic(*out, *shards, args[1:])
 	case "dataset":
-		dataset(*out, args[1:])
+		dataset(*out, *shards, args[1:])
 	case "toy":
 		ds := datasets.PaperToy()
-		writeDataset(*out, ds.Tree, ds.DB, describe(ds))
+		writeDataset(*out, *shards, ds.Tree, ds.DB, describe(ds))
 	default:
 		usage()
 	}
 }
 
-func synthetic(out string, args []string) {
+func synthetic(out string, shards int, args []string) {
 	fs := flag.NewFlagSet("synthetic", flag.ExitOnError)
 	n := fs.Int("n", 100000, "number of transactions")
 	width := fs.Float64("width", 5, "average transaction width")
@@ -76,13 +83,13 @@ func synthetic(out string, args []string) {
 	if err != nil {
 		fail(err)
 	}
-	writeDataset(out, tree, db, fmt.Sprintf(
+	writeDataset(out, shards, tree, db, fmt.Sprintf(
 		"synthetic dataset (Srikant & Agrawal style)\nN=%d W=%g roots=%d fanout=%d height=%d seed=%d\n"+
 			"suggested: -gamma 0.3 -epsilon 0.1 -minsup 0.01,0.001,0.0005,0.0001\n",
 		*n, *width, *roots, *fanout, *height, *seed))
 }
 
-func dataset(out string, args []string) {
+func dataset(out string, shards int, args []string) {
 	fs := flag.NewFlagSet("dataset", flag.ExitOnError)
 	name := fs.String("name", "", "groceries, census or medline")
 	scale := fs.Float64("scale", 1.0, "size multiplier vs the original dataset")
@@ -92,7 +99,7 @@ func dataset(out string, args []string) {
 	if err != nil {
 		fail(err)
 	}
-	writeDataset(out, ds.Tree, ds.DB, describe(ds))
+	writeDataset(out, shards, ds.Tree, ds.DB, describe(ds))
 }
 
 func describe(ds *datasets.Dataset) string {
@@ -110,7 +117,7 @@ func describe(ds *datasets.Dataset) string {
 	return b.String()
 }
 
-func writeDataset(out string, tree *taxonomy.Tree, db *txdb.DB, readme string) {
+func writeDataset(out string, shards int, tree *taxonomy.Tree, db *txdb.DB, readme string) {
 	taxPath := filepath.Join(out, "taxonomy.tsv")
 	f, err := os.Create(taxPath)
 	if err != nil {
@@ -122,16 +129,50 @@ func writeDataset(out string, tree *taxonomy.Tree, db *txdb.DB, readme string) {
 	if err := f.Close(); err != nil {
 		fail(err)
 	}
-	dbPath := filepath.Join(out, "baskets.txt")
-	f, err = os.Create(dbPath)
-	if err != nil {
-		fail(err)
-	}
-	if err := db.WriteBaskets(f); err != nil {
-		fail(err)
-	}
-	if err := f.Close(); err != nil {
-		fail(err)
+	// Regeneration must not leave the previous run's layout behind: a stale
+	// baskets.txt would shadow freshly written shards (both loaders prefer
+	// it), and stale shardNNN.txt files beyond the new count would be
+	// concatenated into the database. Remove both layout paths first.
+	var dbPath string
+	if shards > 1 {
+		dbPath = filepath.Join(out, "shards")
+		if err := os.Remove(filepath.Join(out, "baskets.txt")); err != nil && !os.IsNotExist(err) {
+			fail(err)
+		}
+		if err := os.RemoveAll(dbPath); err != nil {
+			fail(err)
+		}
+		if err := os.MkdirAll(dbPath, 0o755); err != nil {
+			fail(err)
+		}
+		for i, part := range txdb.Partition(db, shards) {
+			path := filepath.Join(dbPath, fmt.Sprintf("shard%03d.txt", i))
+			f, err := os.Create(path)
+			if err != nil {
+				fail(err)
+			}
+			if err := part.WriteBaskets(f); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}
+	} else {
+		dbPath = filepath.Join(out, "baskets.txt")
+		if err := os.RemoveAll(filepath.Join(out, "shards")); err != nil {
+			fail(err)
+		}
+		f, err = os.Create(dbPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := db.WriteBaskets(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
 	}
 	if err := os.WriteFile(filepath.Join(out, "README.txt"), []byte(readme), 0o644); err != nil {
 		fail(err)
@@ -140,9 +181,9 @@ func writeDataset(out string, tree *taxonomy.Tree, db *txdb.DB, readme string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `flipgen -out DIR synthetic [flags]
-flipgen -out DIR dataset -name groceries|census|medline [-scale 1.0]
-flipgen -out DIR toy`)
+	fmt.Fprintln(os.Stderr, `flipgen -out DIR [-shards 0] synthetic [flags]
+flipgen -out DIR [-shards 0] dataset -name groceries|census|medline [-scale 1.0]
+flipgen -out DIR [-shards 0] toy`)
 	os.Exit(2)
 }
 

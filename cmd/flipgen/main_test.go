@@ -42,6 +42,45 @@ func TestGenToy(t *testing.T) {
 	}
 }
 
+// TestGenShardedLayout checks that -shards writes shards/shardNNN.txt files
+// whose lines concatenate, in name order, to the single-file output.
+func TestGenShardedLayout(t *testing.T) {
+	bin := buildGen(t)
+	flat := t.TempDir()
+	if out, err := exec.Command(bin, "-out", flat, "toy").CombinedOutput(); err != nil {
+		t.Fatalf("toy: %v\n%s", err, out)
+	}
+	want, err := os.ReadFile(filepath.Join(flat, "baskets.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if out, err := exec.Command(bin, "-out", dir, "-shards", "3", "toy").CombinedOutput(); err != nil {
+		t.Fatalf("sharded toy: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "baskets.txt")); err == nil {
+		t.Error("sharded output also wrote baskets.txt")
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "shards"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("shards/ holds %d files, want 3", len(entries))
+	}
+	var got strings.Builder
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, "shards", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Write(data)
+	}
+	if got.String() != string(want) {
+		t.Errorf("concatenated shards differ from baskets.txt:\n%q\nvs\n%q", got.String(), want)
+	}
+}
+
 func TestGenSyntheticAndDataset(t *testing.T) {
 	bin := buildGen(t)
 	dir := t.TempDir()

@@ -6,13 +6,19 @@
 //	flipper -tax taxonomy.tsv -db baskets.txt \
 //	        -gamma 0.3 -epsilon 0.1 -minsup 0.01,0.001,0.0005,0.0001 \
 //	        [-measure kulczynski] [-pruning full] [-strategy scan|tidlist|bitmap|auto] \
-//	        [-topk 0] [-target-patterns 0] [-stream] [-stats] \
+//	        [-shards 0] [-topk 0] [-target-patterns 0] [-stream] [-stats] \
 //	        [-json] [-json-api] [-csv patterns.csv]
 //
 // The taxonomy file holds one "child<TAB>parent" edge per line; the basket
-// file one transaction per line with comma-separated item names. -minsup
-// takes one fraction per taxonomy level, most general first. -stream keeps
-// counting passes on disk instead of materializing per-level views.
+// file one transaction per line with comma-separated item names. -db also
+// accepts a directory: a flipgen dataset directory (its baskets.txt or
+// shards/ subdirectory is used) or a directory of shard*.txt basket files
+// (the flipgen -shards layout); shards are mined in parallel, and with
+// -stream they are streamed in parallel without ever being resident
+// together (out-of-core mode). -minsup takes one fraction per taxonomy level, most general first.
+// -stream keeps counting passes on disk instead of materializing per-level
+// views. -shards N partitions an in-memory database into N shards counted
+// in parallel (output is byte-identical to the unsharded run).
 // -target-patterns auto-tunes ε (the paper's threshold workflow): the most
 // selective ε still yielding at least that many patterns is used. The
 // default output is one block per pattern with the full correlation chain;
@@ -26,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -42,6 +49,7 @@ func main() {
 		meas     = flag.String("measure", "kulczynski", "correlation measure: kulczynski, cosine, all_confidence, coherence, max_confidence")
 		pruning  = flag.String("pruning", "full", "pruning level: basic, flipping, flipping+tpg, full")
 		strategy = flag.String("strategy", "scan", "support counting: scan, tidlist, bitmap or auto")
+		shards   = flag.Int("shards", 0, "partition the database into N shards counted in parallel (0 = unsharded; ignored when -db is a shard directory, which brings its own shards, or a single file in -stream mode, which cannot be split — see flipgen -shards)")
 		topK     = flag.Int("topk", 0, "keep only the K most flipping patterns (largest correlation gap)")
 		target   = flag.Int("target-patterns", 0, "auto-tune ε: search for the most selective ε yielding at least this many patterns")
 		maxK     = flag.Int("maxk", 0, "cap the itemset size (0 = data-bound)")
@@ -72,6 +80,7 @@ func main() {
 	cfg.Epsilon = *epsilon
 	cfg.TopK = *topK
 	cfg.MaxK = *maxK
+	cfg.Shards = *shards
 	if cfg.Measure, err = flipper.ParseMeasure(*meas); err != nil {
 		fail(err)
 	}
@@ -91,23 +100,17 @@ func main() {
 			tree.Height(), len(cfg.MinSup)))
 	}
 
-	var src flipper.Source
 	if *stream {
 		cfg.Materialize = false
-		if src, err = flipper.OpenBasketFile(*dbPath, tree.Dict()); err != nil {
-			fail(err)
+	}
+	src, err := loadSource(*dbPath, tree, *stream)
+	if err != nil {
+		fail(err)
+	}
+	if *shards > 1 {
+		if _, ok := src.(*flipper.FileSource); ok {
+			fmt.Fprintln(os.Stderr, "flipper: warning: -shards ignored — a single basket file cannot be partitioned in -stream mode; split it into a shard directory with flipgen -shards, or drop -stream")
 		}
-	} else {
-		f, err := os.Open(*dbPath)
-		if err != nil {
-			fail(err)
-		}
-		db, err := flipper.ReadBaskets(f, tree.Dict())
-		f.Close()
-		if err != nil {
-			fail(err)
-		}
-		src = db
 	}
 
 	var res *flipper.Result
@@ -161,6 +164,29 @@ func main() {
 	if *stats {
 		fmt.Fprintln(os.Stderr, res.Stats.String())
 	}
+}
+
+// loadSource resolves -db: a basket file, a directory of shard*.txt basket
+// files (mined as a ShardedSource — in parallel, and with -stream never
+// resident together), or a flipgen dataset directory, whose baskets.txt or
+// shards/ subdirectory is used — with baskets.txt winning when both exist,
+// matching the flipperd registry, so a dataset never changes content by
+// gaining a stray shards/ directory.
+func loadSource(path string, tree *flipper.Taxonomy, stream bool) (flipper.Source, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return flipper.OpenBasketSource(path, tree.Dict(), stream)
+	}
+	if fi, err := os.Stat(filepath.Join(path, "baskets.txt")); err == nil && !fi.IsDir() {
+		return flipper.OpenBasketSource(filepath.Join(path, "baskets.txt"), tree.Dict(), stream)
+	}
+	if fi, err := os.Stat(filepath.Join(path, "shards")); err == nil && fi.IsDir() {
+		path = filepath.Join(path, "shards")
+	}
+	return flipper.OpenShardDir(path, tree.Dict(), stream)
 }
 
 func loadTaxonomy(path string) (*flipper.Taxonomy, error) {

@@ -133,6 +133,44 @@ func TestCLIAPIJSON(t *testing.T) {
 	}
 }
 
+// TestCLISharded pins the -shards flag and the shard-directory form of -db:
+// both must mine exactly what the single-file, unsharded run mines.
+func TestCLISharded(t *testing.T) {
+	bin := buildCmd(t)
+	tax, db := writeToy(t)
+	mine := func(args ...string) string {
+		t.Helper()
+		args = append(args, "-gamma", "0.6", "-epsilon", "0.35", "-minsup", "0.1,0.1,0.1", "-json")
+		out, err := exec.Command(bin, args...).Output()
+		if err != nil {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		return string(out)
+	}
+	want := mine("-tax", tax, "-db", db)
+	if got := mine("-tax", tax, "-db", db, "-shards", "3"); got != want {
+		t.Errorf("-shards 3 diverged:\n%s\nvs\n%s", want, got)
+	}
+	// Shard-directory form: split the baskets into per-shard files.
+	lines := strings.SplitAfter(strings.TrimRight(toyBaskets, "\n"), "\n")
+	shardDir := filepath.Join(t.TempDir(), "shards")
+	if err := os.MkdirAll(shardDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	half := len(lines) / 2
+	for i, chunk := range []string{strings.Join(lines[:half], ""), strings.Join(lines[half:], "")} {
+		if err := os.WriteFile(filepath.Join(shardDir, []string{"shard000.txt", "shard001.txt"}[i]), []byte(chunk), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mine("-tax", tax, "-db", shardDir); got != want {
+		t.Errorf("shard directory diverged:\n%s\nvs\n%s", want, got)
+	}
+	if got := mine("-tax", tax, "-db", shardDir, "-stream"); got != want {
+		t.Errorf("streamed shard directory diverged:\n%s\nvs\n%s", want, got)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	bin := buildCmd(t)
 	tax, db := writeToy(t)

@@ -8,15 +8,21 @@
 //	         [-history 1000] [-stream] [-debug-addr localhost:6060]
 //
 // The data directory holds one subdirectory per dataset, each with a
-// taxonomy.tsv (child<TAB>parent edges) and a baskets.txt (one transaction
-// per line, comma-separated item names) — exactly what flipgen writes:
+// taxonomy.tsv (child<TAB>parent edges) and either a baskets.txt (one
+// transaction per line, comma-separated item names) or a shards/ directory
+// of per-shard basket files — exactly the two layouts flipgen writes:
 //
 //	flipgen -out data/groceries dataset -name groceries
+//	flipgen -out data/medline -shards 8 dataset -name medline
 //	flipperd -data data
 //
-// With -stream, basket files stay on disk and are re-read on every counting
-// pass (the paper's disk-resident mode); otherwise each dataset is
-// materialized into memory once at startup.
+// Sharded datasets are mined shard-parallel (a bounded pool of counting
+// workers over the shard files), with output byte-identical to the
+// single-file layout. With
+// -stream, basket files stay on disk and are re-read on every counting
+// pass (the paper's disk-resident mode) — shard files in parallel, so big
+// datasets mine without ever being resident in memory; otherwise each
+// dataset is materialized into memory once at startup.
 //
 // API (JSON; see docs/ARCHITECTURE.md):
 //

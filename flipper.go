@@ -69,10 +69,14 @@ type (
 	TaxonomyBuilder = taxonomy.Builder
 	// DB is an in-memory transaction database.
 	DB = txdb.DB
-	// Source is a replayable stream of transactions (DB or FileSource).
+	// Source is a replayable stream of transactions (DB, FileSource or
+	// ShardedSource).
 	Source = txdb.Source
 	// FileSource streams a basket file from disk on every pass.
 	FileSource = txdb.FileSource
+	// ShardedSource composes per-shard Sources for shard-parallel counting
+	// (Config.Shards), including out-of-core mining over per-shard files.
+	ShardedSource = txdb.ShardedSource
 	// Dictionary maps item names to dense int32 IDs.
 	Dictionary = dict.Dictionary
 	// Measure selects a null-invariant correlation measure.
@@ -162,6 +166,36 @@ func ReadBaskets(r io.Reader, d *Dictionary) (*DB, error) { return txdb.ReadBask
 // mining (set Config.Materialize = false to keep passes on disk).
 func OpenBasketFile(path string, d *Dictionary) (*FileSource, error) {
 	return txdb.OpenFile(path, d)
+}
+
+// OpenBasketSource opens one basket file as a Source: a FileSource re-read
+// from disk on every pass when stream is set, otherwise an in-memory DB
+// read once.
+func OpenBasketSource(path string, d *Dictionary, stream bool) (Source, error) {
+	return txdb.OpenBasketSource(path, d, stream)
+}
+
+// PartitionDB splits an in-memory database into an n-shard source whose
+// shards alias the database's storage; mining it makes every counting
+// backend shard-parallel with output byte-identical to the unsharded run.
+// Equivalent to setting Config.Shards when mining the DB directly.
+func PartitionDB(db *DB, n int) *ShardedSource { return txdb.PartitionSource(db, n) }
+
+// OpenShardDir opens a directory of shard*.txt basket files (the flipgen
+// -shards layout) as a ShardedSource, in shard order. With stream set
+// each shard becomes a FileSource re-read from disk on every pass — the
+// out-of-core mode; otherwise each shard is read into memory once.
+func OpenShardDir(dir string, d *Dictionary, stream bool) (*ShardedSource, error) {
+	return txdb.OpenShardDir(dir, d, stream)
+}
+
+// NewShardedSource composes per-shard Sources (e.g. one FileSource per
+// basket shard file) into one mineable source. All shards must share a
+// dictionary. With Config.Materialize = false this is the out-of-core mode:
+// counting streams the shard files in parallel, so datasets larger than RAM
+// mine with only per-worker scan buffers resident.
+func NewShardedSource(shards ...Source) (*ShardedSource, error) {
+	return txdb.NewSharded(shards...)
 }
 
 // EpsilonPoint is one step of an ε sweep (see EpsilonSweep).

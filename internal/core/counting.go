@@ -20,6 +20,23 @@ func (m *miner) count(c *cell) {
 	if strategy == CountAuto {
 		strategy = m.chooseStrategy(c)
 	}
+	if m.sharded() {
+		// Shard-parallel variants: a bounded worker pool over the shards,
+		// partial support vectors summed into the slab (counting_shard.go).
+		switch strategy {
+		case CountTIDList:
+			m.countTIDShards(c)
+		case CountBitmap:
+			m.countBitmapShards(c)
+		default:
+			if m.cfg.Materialize {
+				m.countScanShards(c)
+			} else {
+				m.countScanStreamingShards(c)
+			}
+		}
+		return
+	}
 	switch strategy {
 	case CountTIDList:
 		m.countTID(c)
@@ -57,6 +74,14 @@ const scanProbeWeight = 2.5
 // when a few candidates face sparse lists, and bitmaps win when a high
 // candidate count meets a dense level — many probes amortizing the
 // fixed-width vectors.
+//
+// Sharding enters the model in two places. The per-candidate merge of S
+// partial vectors costs the same S additions for every backend, so it
+// cancels out of the comparison and is omitted. Bitmap vectors, however,
+// round up to whole words per shard instead of once per level, so S shards
+// pay up to S−1 extra words per candidate AND (and per item at build time);
+// the distinct-transaction count is likewise the per-shard sum, which
+// already reflects the dedup lost at shard boundaries.
 func (m *miner) chooseStrategy(c *cell) CountStrategy {
 	view := m.views[c.h]
 	items := len(view.Support)
@@ -67,12 +92,20 @@ func (m *miner) chooseStrategy(c *cell) CountStrategy {
 	for _, sup := range view.Support {
 		volume += sup
 	}
-	avgWidth := float64(volume) / float64(len(view.Tx))
-	scanCost := scanProbeWeight * float64(len(m.distinct[c.h])) * float64(itemset.Binomial(int(avgWidth+1), c.k))
+	distinct := m.distinctCount(c.h)
+	// Materialized views hold one generalized transaction per raw one, so
+	// the level's transaction count is m.n regardless of sharding.
+	avgWidth := float64(volume) / float64(m.n)
+	scanCost := scanProbeWeight * float64(distinct) * float64(itemset.Binomial(int(avgWidth+1), c.k))
 	tidCost := float64(c.candidates) * float64(c.k) * float64(volume) / float64(items)
-	words := float64(bitmap.Words(len(m.distinct[c.h])))
+	words := float64(bitmap.Words(distinct))
+	built := m.bitmaps[c.h] != nil
+	if m.sharded() {
+		words += float64(len(m.shards) - 1) // per-shard word rounding
+		built = m.shardBM[c.h] != nil
+	}
 	bitCost := float64(c.candidates) * float64(c.k) * words
-	if m.bitmaps[c.h] == nil {
+	if !built {
 		bitCost += float64(items) * words // the build pass, paid once
 	}
 	best, cost := CountScan, scanCost
@@ -157,12 +190,15 @@ func (m *miner) countScanMaterialized(c *cell) {
 // countScanStreaming is the disk-resident mode: one sequential pass over the
 // raw source with on-the-fly generalization to the cell's level.
 func (m *miner) countScanStreaming(c *cell) {
+	if m.scanErr != nil {
+		return
+	}
 	st := c.store
 	counts := st.Sup
 	var filtered itemset.Set
 	var pruned int64
 	buf := make([]itemset.ID, 0, 32)
-	_ = m.src.Scan(func(tx itemset.Set) error {
+	err := m.src.Scan(func(tx itemset.Set) error {
 		buf = buf[:0]
 		for _, id := range tx {
 			if a, ok := m.tax.AncestorAt(id, c.h); ok {
@@ -178,6 +214,9 @@ func (m *miner) countScanStreaming(c *cell) {
 		pruned += itemset.Binomial(len(filtered), c.k) - hits
 		return nil
 	})
+	if err != nil {
+		m.scanErr = err
+	}
 	m.stats.ProbesPruned += pruned
 }
 

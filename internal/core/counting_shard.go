@@ -1,0 +1,341 @@
+package core
+
+import (
+	"time"
+
+	"github.com/flipper-mining/flipper/internal/bitmap"
+	"github.com/flipper-mining/flipper/internal/itemset"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// Shard-parallel counting: every backend gets a variant where workers own
+// transaction shards instead of candidate or transaction ranges of the
+// whole database. The fan-out is a bounded pool of cfg.workers()
+// goroutines (txdb.ForEachShard) — worker w handles shards w, w+W, w+2W,
+// … — so shard count scales independently of core count: a 256-shard
+// out-of-core dataset on 4 cores runs 4 workers with 4 partial vectors,
+// not 256 of each. Each worker counts its shards into one private partial
+// support vector; the partials are then summed into the cell's candtrie
+// slab (mergePartials). Because a transaction lives in exactly one shard
+// and the merge is plain int64 addition — commutative and associative, so
+// worker assignment cannot change the totals — the merged supports, and
+// everything derived from them, are identical to the unsharded run, which
+// TestShardedMiningEquivalence pins across strategies, pruning levels and
+// shard counts.
+//
+// The payoffs over range fan-out: per-shard level views and indexes are
+// built concurrently at init; each worker's working set is its shards'
+// views and indexes rather than the whole level (cache residency); and with
+// a txdb.ShardedSource over per-shard basket files, streaming counting
+// scans the files in parallel — out-of-core mining of databases larger
+// than RAM.
+
+// resolveShards decides the run's shard layout. A ShardedSource brings its
+// own shards (its on-disk partitioning is authoritative); otherwise
+// Config.Shards > 1 partitions an in-memory database in place. Any other
+// source — e.g. a single FileSource, which cannot be split without
+// rewriting the file — runs unsharded regardless of Config.Shards.
+func (m *miner) resolveShards() {
+	if ss, ok := m.src.(*txdb.ShardedSource); ok {
+		if ss.NumShards() > 1 {
+			m.shards = ss.Shards()
+		}
+		return
+	}
+	if m.cfg.Shards <= 1 {
+		return
+	}
+	if db, ok := m.src.(*txdb.DB); ok {
+		parts := txdb.Partition(db, m.cfg.Shards)
+		if len(parts) <= 1 {
+			return
+		}
+		m.shards = make([]txdb.Source, len(parts))
+		for i, p := range parts {
+			m.shards[i] = p
+		}
+	}
+}
+
+// sharded reports whether counting fans out over shards.
+func (m *miner) sharded() bool { return len(m.shards) > 1 }
+
+// shardWorkers bounds shard fan-out at the configured parallelism: at most
+// cfg.workers() goroutines run however many shards there are.
+func (m *miner) shardWorkers(n int) int {
+	w := m.cfg.workers()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// makePartials allocates one partial support vector of length n per worker.
+func makePartials(workers, n int) [][]int64 {
+	out := make([][]int64, workers)
+	for w := range out {
+		out[w] = make([]int64, n)
+	}
+	return out
+}
+
+// distinctCount returns how many deduplicated weighted transactions back
+// the level — the database-size input of the CountAuto cost model. Sharded
+// runs dedup per shard, so the count is the sum over shards (slightly above
+// the global dedup when identical transactions straddle a shard boundary).
+func (m *miner) distinctCount(h int) int {
+	if !m.sharded() {
+		return len(m.distinct[h])
+	}
+	n := 0
+	for _, d := range m.shardDist[h] {
+		n += len(d)
+	}
+	return n
+}
+
+// streamSingleSupportsShards is the sharded form of the streaming
+// single-item pass: a bounded worker pool scans the shards concurrently,
+// each worker aggregating per-level single supports and widths across its
+// shards locally; the locals then merge. Integer sums and maxima make the
+// merged aggregates independent of worker assignment and equal to the
+// single-pass values.
+func (m *miner) streamSingleSupportsShards() error {
+	H := m.height
+	type agg struct {
+		sup    []map[itemset.ID]int64
+		widths []int
+		err    error
+	}
+	workers := m.shardWorkers(len(m.shards))
+	aggs := make([]agg, workers)
+	for w := range aggs {
+		aggs[w].sup = make([]map[itemset.ID]int64, H+1)
+		aggs[w].widths = make([]int, H+1)
+		for h := 1; h <= H; h++ {
+			aggs[w].sup[h] = make(map[itemset.ID]int64)
+		}
+	}
+	txdb.ForEachShard(workers, len(m.shards), func(w, s int) {
+		a := &aggs[w]
+		if a.err != nil {
+			return
+		}
+		buf := make([]itemset.ID, 0, 32)
+		a.err = m.shards[s].Scan(func(tx itemset.Set) error {
+			for h := 1; h <= H; h++ {
+				buf = buf[:0]
+				for _, id := range tx {
+					if anc, ok := m.tax.AncestorAt(id, h); ok {
+						buf = append(buf, anc)
+					}
+				}
+				g := itemset.New(buf...)
+				if len(g) > a.widths[h] {
+					a.widths[h] = len(g)
+				}
+				for _, id := range g {
+					a.sup[h][id]++
+				}
+			}
+			return nil
+		})
+	})
+	for h := 1; h <= H; h++ {
+		m.sup1[h] = make(map[itemset.ID]int64)
+	}
+	for w := range aggs {
+		if aggs[w].err != nil {
+			return aggs[w].err
+		}
+		for h := 1; h <= H; h++ {
+			if aggs[w].widths[h] > m.widths[h] {
+				m.widths[h] = aggs[w].widths[h]
+			}
+			for id, n := range aggs[w].sup[h] {
+				m.sup1[h][id] += n
+			}
+		}
+	}
+	return nil
+}
+
+// mergePartials folds the per-worker partial support vectors into the
+// cell's slab. The time spent here is the serial fraction of sharded
+// counting and is surfaced as Stats.ShardMergeNs.
+func (m *miner) mergePartials(c *cell, partials [][]int64) {
+	start := time.Now()
+	sup := c.store.Sup
+	for _, counts := range partials {
+		for i, n := range counts {
+			sup[i] += n
+		}
+	}
+	m.stats.ShardMergeNs += time.Since(start).Nanoseconds()
+}
+
+// countScanShards is the sharded scan backend over materialized views: each
+// pool worker walks its shards' deduplicated transactions down the cell's
+// trie into its private scratch vector.
+func (m *miner) countScanShards(c *cell) {
+	dist := m.shardDist[c.h]
+	workers := m.shardWorkers(len(dist))
+	partials := makePartials(workers, c.store.Len())
+	pruned := make([]int64, workers)
+	txdb.ForEachShard(workers, len(dist), func(w, s int) {
+		pruned[w] += scanTxs(c, dist[s], partials[w], nil)
+	})
+	m.mergePartials(c, partials)
+	for _, n := range pruned {
+		m.stats.ProbesPruned += n
+	}
+}
+
+// countScanStreamingShards is the sharded disk-resident mode: every pool
+// worker streams its own shard sources — for a ShardedSource of
+// FileSources, its own basket files — generalizing to the cell's level on
+// the fly. Memory stays one scan buffer and one partial vector per worker
+// (not per shard) while the passes run in parallel: out-of-core mining at
+// shard-parallel speed. A scan failure parks in m.scanErr and fails the
+// mine (see count).
+func (m *miner) countScanStreamingShards(c *cell) {
+	if m.scanErr != nil {
+		return
+	}
+	st := c.store
+	workers := m.shardWorkers(len(m.shards))
+	partials := makePartials(workers, st.Len())
+	pruned := make([]int64, workers)
+	errs := make([]error, workers)
+	txdb.ForEachShard(workers, len(m.shards), func(w, s int) {
+		if errs[w] != nil {
+			return
+		}
+		counts := partials[w]
+		var filtered itemset.Set
+		buf := make([]itemset.ID, 0, 32)
+		errs[w] = m.shards[s].Scan(func(tx itemset.Set) error {
+			buf = buf[:0]
+			for _, id := range tx {
+				if a, ok := m.tax.AncestorAt(id, c.h); ok {
+					buf = append(buf, a)
+				}
+			}
+			g := itemset.New(buf...)
+			filtered = st.Filter(g, filtered[:0])
+			if len(filtered) < c.k {
+				return nil
+			}
+			hits := st.CountTx(filtered, 1, counts)
+			pruned[w] += itemset.Binomial(len(filtered), c.k) - hits
+			return nil
+		})
+	})
+	for _, err := range errs {
+		if err != nil {
+			m.scanErr = err
+			return
+		}
+	}
+	m.mergePartials(c, partials)
+	for _, n := range pruned {
+		m.stats.ProbesPruned += n
+	}
+}
+
+// countTIDShards is the sharded tid-list backend: each pool worker
+// intersects every candidate against its shards' per-item transaction-ID
+// lists. A candidate's support is the sum of its per-shard intersection
+// sizes, because each shard's lists index disjoint transactions.
+func (m *miner) countTIDShards(c *cell) {
+	lists := m.shardTIDLists(c.h)
+	st := c.store
+	n := st.Len()
+	workers := m.shardWorkers(len(lists))
+	partials := makePartials(workers, n)
+	scratches := make([]tidScratch, workers)
+	txdb.ForEachShard(workers, len(lists), func(w, s int) {
+		for e := 0; e < n; e++ {
+			partials[w][e] += intersectSupport(st.Items(int32(e)), lists[s], &scratches[w])
+		}
+	})
+	m.mergePartials(c, partials)
+}
+
+// countBitmapShards is the sharded bitmap backend: each pool worker ANDs
+// its shards' per-item bit vectors for every candidate. Per-shard supports
+// sum exactly; per-shard word-op counts accumulate into the same stat the
+// unsharded backend reports.
+func (m *miner) countBitmapShards(c *cell) {
+	ixs := m.shardBitmapIndexes(c.h)
+	st := c.store
+	n := st.Len()
+	workers := m.shardWorkers(len(ixs))
+	partials := makePartials(workers, n)
+	ops := make([]int64, workers)
+	scratches := make([][]bitmap.Vector, workers)
+	for w := range scratches {
+		scratches[w] = make([]bitmap.Vector, c.k)
+	}
+	txdb.ForEachShard(workers, len(ixs), func(w, s int) {
+		for e := 0; e < n; e++ {
+			sup, wops := ixs[s].SupportInto(st.Items(int32(e)), scratches[w])
+			partials[w][e] += sup
+			ops[w] += wops
+		}
+	})
+	m.mergePartials(c, partials)
+	for _, n := range ops {
+		m.stats.BitmapWordOps += n
+	}
+}
+
+// shardTIDLists lazily builds each shard's per-item transaction-ID lists
+// for a level — a bounded worker pool over the shards, results cached on
+// the miner (like the unsharded lists).
+func (m *miner) shardTIDLists(h int) []map[itemset.ID][]int32 {
+	if m.shardTID[h] != nil {
+		return m.shardTID[h]
+	}
+	views := m.shardLv[h]
+	lists := make([]map[itemset.ID][]int32, len(views))
+	txdb.ForEachShard(m.shardWorkers(len(views)), len(views), func(_, s int) {
+		l := make(map[itemset.ID][]int32)
+		for ti, tx := range views[s].Tx {
+			for _, id := range tx {
+				l[id] = append(l[id], int32(ti))
+			}
+		}
+		lists[s] = l
+	})
+	m.shardTID[h] = lists
+	return lists
+}
+
+// shardBitmapIndexes lazily builds each shard's bitmap index over its
+// deduplicated transactions — a bounded worker pool over the shards,
+// results cached on the miner. Every shard build counts toward
+// Stats.BitmapBuilds.
+func (m *miner) shardBitmapIndexes(h int) []*bitmap.Index {
+	if m.shardBM[h] != nil {
+		return m.shardBM[h]
+	}
+	dist := m.shardDist[h]
+	ixs := make([]*bitmap.Index, len(dist))
+	txdb.ForEachShard(m.shardWorkers(len(dist)), len(dist), func(_, s int) {
+		data := dist[s]
+		txs := make([]itemset.Set, len(data))
+		weights := make([]int64, len(data))
+		for i, wt := range data {
+			txs[i] = wt.Items
+			weights[i] = wt.Weight
+		}
+		ixs[s] = bitmap.Build(txs, weights)
+	})
+	m.shardBM[h] = ixs
+	m.stats.BitmapBuilds += int64(len(ixs))
+	return ixs
+}

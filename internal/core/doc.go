@@ -79,6 +79,19 @@ tid lists) — both iterate the candidate slab directly. CountAuto picks per
 cell using a three-way cost estimate in word-operation units (a trie scan
 probe is calibrated as 2.5 of those; see chooseStrategy).
 
+Every backend also has a shard-parallel variant (counting_shard.go),
+selected by Config.Shards or by mining a txdb.ShardedSource: the database
+is split into contiguous transaction shards, each worker owns one shard —
+its own level views, dedup, tid lists and bitmap index, built concurrently
+at init — and fills a private partial support vector; mergePartials sums
+the partials into the candidate slab in shard order. Integer sums make the
+sharded output byte-identical to the unsharded run (shard_test.go pins
+this across strategies, pruning levels and shard counts), which is why
+Shards, like Parallelism, is excluded from Config.CanonicalKey. Sharded
+streaming scans the shard sources in parallel — for per-shard basket
+files, the out-of-core mode. Stats.Shards and Stats.ShardMergeNs surface
+the fan-out and the serial merge fraction.
+
 # Labeling and chains (engine.go finishCell)
 
 A counted itemset with sup ≥ θ_h gets Corr computed from the level's

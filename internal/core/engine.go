@@ -84,6 +84,19 @@ type miner struct {
 	tid      []map[itemset.ID][]int32
 	bitmaps  []*bitmap.Index // lazily built per-level item bit vectors
 
+	// Shard-parallel state (nil / empty when the run is unsharded). A
+	// bounded pool of counting workers owns the shards — each shard its own
+	// source, level views, dedup'd weighted transactions, and lazily built
+	// tid lists and bitmap indexes. Per-worker partial support vectors are
+	// merged into the candidate slabs (see counting_shard.go); integer sums
+	// make the merged supports — and therefore the whole mined output —
+	// identical to the unsharded run.
+	shards    []txdb.Source
+	shardLv   [][]*txdb.LevelView        // [level][shard]; nil when streaming
+	shardDist [][][]txdb.WeightedTx      // [level][shard]
+	shardTID  [][]map[itemset.ID][]int32 // [level][shard], lazy
+	shardBM   [][]*bitmap.Index          // [level][shard], lazy
+
 	rows     []map[int]*cell       // rows[h][k]
 	excluded []map[itemset.ID]bool // SIBP-excluded items per level
 	rset     []map[itemset.ID]bool // R_h of the most recent column per level
@@ -95,6 +108,13 @@ type miner struct {
 
 	stats Stats
 	maxK  int
+
+	// scanErr records the first streaming counting-pass failure (the
+	// materialized paths surface errors at init instead). Counting cannot
+	// return errors through the mining loop, so the streaming backends park
+	// the failure here, later passes short-circuit on it, and Mine fails
+	// with it rather than returning silently undercounted patterns.
+	scanErr error
 }
 
 // Mine runs the Flipper algorithm (or the BASIC baseline, depending on
@@ -133,6 +153,9 @@ func Mine(src txdb.Source, tree *taxonomy.Tree, cfg Config) (*Result, error) {
 	} else {
 		patterns = m.mineFlipper()
 	}
+	if m.scanErr != nil {
+		return nil, fmt.Errorf("core: streaming counting pass failed: %w", m.scanErr)
+	}
 	if cfg.TopK > 0 {
 		sortPatternsByGap(patterns)
 		if len(patterns) > cfg.TopK {
@@ -157,6 +180,15 @@ func (m *miner) init() error {
 	m.sorted = make([][]itemset.ID, H+1)
 	m.tid = make([]map[itemset.ID][]int32, H+1)
 	m.bitmaps = make([]*bitmap.Index, H+1)
+	m.resolveShards()
+	m.stats.Shards = 1
+	if m.sharded() {
+		m.stats.Shards = len(m.shards)
+		m.shardLv = make([][]*txdb.LevelView, H+1)
+		m.shardDist = make([][][]txdb.WeightedTx, H+1)
+		m.shardTID = make([][]map[itemset.ID][]int32, H+1)
+		m.shardBM = make([][]*bitmap.Index, H+1)
+	}
 	m.rows = make([]map[int]*cell, H+1)
 	m.excluded = make([]map[itemset.ID]bool, H+1)
 	m.rset = make([]map[itemset.ID]bool, H+1)
@@ -166,7 +198,40 @@ func (m *miner) init() error {
 		m.excluded[h] = make(map[itemset.ID]bool)
 	}
 
-	if m.cfg.Materialize {
+	switch {
+	case m.cfg.Materialize && m.sharded():
+		// Per-shard level views, built concurrently (a bounded worker pool
+		// over the shards, then another for dedup). The merged per-item
+		// supports and widths are exact integer aggregates of the shard
+		// views, so the level summaries the rest of the run reads are
+		// identical to the unsharded Materialize.
+		for h := 1; h <= H; h++ {
+			views, err := txdb.MaterializeShards(m.shards, m.tax, h, m.shardWorkers(len(m.shards)))
+			if err != nil {
+				return err
+			}
+			m.stats.DBScans++
+			m.shardLv[h] = views
+			dist := make([][]txdb.WeightedTx, len(views))
+			txdb.ForEachShard(m.shardWorkers(len(views)), len(views), func(_, s int) {
+				dist[s] = views[s].Dedup()
+			})
+			m.shardDist[h] = dist
+			sup := make(map[itemset.ID]int64)
+			width := 0
+			for _, v := range views {
+				if v.MaxWidth > width {
+					width = v.MaxWidth
+				}
+				for id, n := range v.Support {
+					sup[id] += n
+				}
+			}
+			m.views[h] = &txdb.LevelView{Level: h, Support: sup, MaxWidth: width}
+			m.sup1[h] = sup
+			m.widths[h] = width
+		}
+	case m.cfg.Materialize:
 		for h := 1; h <= H; h++ {
 			lv, err := txdb.Materialize(m.src, m.tax, h)
 			if err != nil {
@@ -178,7 +243,14 @@ func (m *miner) init() error {
 			m.sup1[h] = lv.Support
 			m.widths[h] = lv.MaxWidth
 		}
-	} else {
+	case m.sharded():
+		// Streaming init over shards: a worker pool runs the single-item
+		// passes concurrently; the per-level integer aggregates then merge.
+		if err := m.streamSingleSupportsShards(); err != nil {
+			return err
+		}
+		m.stats.DBScans++
+	default:
 		// One streaming pass computing all levels' single supports.
 		for h := 1; h <= H; h++ {
 			m.sup1[h] = make(map[itemset.ID]int64)

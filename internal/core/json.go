@@ -60,8 +60,10 @@ func (s *CountStrategy) UnmarshalJSON(b []byte) error {
 // CanonicalKey renders the configuration as a deterministic string covering
 // exactly the fields that influence the mined output (patterns and the
 // algorithmic counters in Stats). Pure execution knobs — Parallelism,
-// Materialize, KeepCellStats — are excluded: they change how fast a run goes
-// and how it is instrumented, never what it finds. Two configurations with
+// Shards, Materialize, KeepCellStats — are excluded: they change how fast a
+// run goes and how it is instrumented, never what it finds (sharded counting
+// merges exact integer partial supports, so shard count cannot move a
+// correlation). Two configurations with
 // equal keys therefore produce identical pattern sets, which is what makes
 // the key safe to use as a result-cache key.
 func (c *Config) CanonicalKey() string {
@@ -137,6 +139,8 @@ type StatsJSON struct {
 	BitmapWordOps     int64  `json:"bitmap_word_ops"`
 	TrieNodes         int64  `json:"trie_nodes"`
 	ProbesPruned      int64  `json:"probes_pruned"`
+	Shards            int    `json:"shards"`
+	ShardMergeNs      int64  `json:"shard_merge_ns"`
 	PeakCandidates    int64  `json:"peak_candidates"`
 	PeakBytes         int64  `json:"peak_bytes"`
 	ElapsedNS         int64  `json:"elapsed_ns"`
@@ -171,6 +175,8 @@ func (s *Stats) JSON() StatsJSON {
 		BitmapWordOps:     s.BitmapWordOps,
 		TrieNodes:         s.TrieNodes,
 		ProbesPruned:      s.ProbesPruned,
+		Shards:            s.Shards,
+		ShardMergeNs:      s.ShardMergeNs,
 		PeakCandidates:    s.PeakCandidates,
 		PeakBytes:         s.PeakBytes,
 		ElapsedNS:         int64(s.Elapsed),

@@ -26,6 +26,13 @@ type Stats struct {
 	Height       int
 	MaxK         int
 
+	// Shards is the number of transaction shards counting fanned out over
+	// (1 when the run was unsharded), and ShardMergeNs the nanoseconds spent
+	// merging per-shard partial support vectors into the candidate slabs —
+	// the serial fraction that bounds sharded speedup (Amdahl's law).
+	Shards       int
+	ShardMergeNs int64
+
 	// DBScans counts sequential passes over the (level views of the)
 	// database, including the initial single-item pass.
 	DBScans int64
@@ -114,6 +121,9 @@ func (s *Stats) String() string {
 	}
 	if s.TrieNodes > 0 {
 		fmt.Fprintf(&b, ", %d trie nodes (%d probes pruned)", s.TrieNodes, s.ProbesPruned)
+	}
+	if s.Shards > 1 {
+		fmt.Fprintf(&b, ", %d shards (merge %v)", s.Shards, time.Duration(s.ShardMergeNs).Round(time.Microsecond))
 	}
 	fmt.Fprintf(&b, ", %v", s.Elapsed.Round(time.Millisecond))
 	return b.String()

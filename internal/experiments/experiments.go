@@ -156,6 +156,7 @@ func Registry() []struct {
 		{"fig10-12", "Figures 10-12: qualitative patterns per dataset", Patterns},
 		{"ablation", "Beyond the paper: counting strategy / parallelism / view ablations", Ablation},
 		{"counting", "Beyond the paper: scan vs tidlist vs bitmap counting across densities", Counting},
+		{"sharding", "Beyond the paper: shard-count scaling of the counting backends", Sharding},
 	}
 }
 

@@ -19,7 +19,7 @@ func tiny() Scale {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "table3", "fig8a", "fig8b", "fig8c", "fig8d", "fig9a", "fig9b", "table4", "fig10-12", "ablation", "counting"}
+	want := []string{"table1", "table3", "fig8a", "fig8b", "fig8c", "fig8d", "fig9a", "fig9b", "table4", "fig10-12", "ablation", "counting", "sharding"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -174,6 +174,28 @@ func TestCountingShape(t *testing.T) {
 		for i := 1; i < 4; i++ {
 			if got := tbl.Rows[4*w+i][6]; got != base {
 				t.Errorf("width group %d: %s found %s patterns, scan found %s", w, tbl.Rows[4*w+i][1], got, base)
+			}
+		}
+	}
+}
+
+func TestShardingShape(t *testing.T) {
+	tbl, err := Sharding(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 strategies × 4 shard counts.
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("sharding rows = %d, want 12", len(tbl.Rows))
+	}
+	// Pattern counts must agree across shard counts within a strategy —
+	// sharding can never change the mined output.
+	for s := 0; s < 3; s++ {
+		base := tbl.Rows[4*s][5]
+		for i := 1; i < 4; i++ {
+			row := tbl.Rows[4*s+i]
+			if row[5] != base {
+				t.Errorf("strategy %s at %s shards found %s patterns, want %s", row[0], row[1], row[5], base)
 			}
 		}
 	}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/flipper-mining/flipper/internal/core"
+	"github.com/flipper-mining/flipper/internal/measure"
+)
+
+// Sharding measures how counting scales with the transaction shard count on
+// the dense workload the counting micro-benchmarks use. Every backend runs
+// a bounded worker pool over per-shard views and indexes; the table reports
+// wall time, the serial merge fraction (Stats.ShardMergeNs) and the speedup
+// over the same backend unsharded, for shard counts 1..8. The pattern count
+// column doubles as a correctness check: sharding must never change it.
+func Sharding(s Scale) (*Table, error) {
+	n := s.SyntheticN
+	db, tree, err := DenseWorkload(n, 64, 2, 16, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "sharding",
+		Title:   "Shard-count scaling of the counting backends (dense workload)",
+		Columns: []string{"Strategy", "Shards", "Seconds", "Merge ms", "Speedup", "Patterns"},
+		Notes: []string{
+			fmt.Sprintf("dense: %d tx × 16 items, 64 cats × 2 leaves; every pair candidate counted", n),
+			"speedup is vs the same backend with shards=1; merge ms is the serial partial-vector merge (Amdahl bound)",
+			fmt.Sprintf("GOMAXPROCS=%d — speedup is bounded by cores; on one core the table pins sharding overhead instead", runtime.GOMAXPROCS(0)),
+		},
+	}
+	for _, strategy := range []core.CountStrategy{core.CountScan, core.CountTIDList, core.CountBitmap} {
+		var base time.Duration
+		for _, shards := range []int{1, 2, 4, 8} {
+			cfg := core.Config{
+				Measure:     measure.Kulczynski,
+				Gamma:       0.3,
+				Epsilon:     0.1,
+				MinSupAbs:   []int64{5, 5},
+				Pruning:     core.Basic,
+				Strategy:    strategy,
+				MaxK:        2,
+				Materialize: true,
+				Shards:      shards,
+			}
+			res, err := core.Mine(db, tree, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if shards == 1 {
+				base = res.Stats.Elapsed
+			}
+			speedup := float64(base) / float64(res.Stats.Elapsed)
+			t.Rows = append(t.Rows, []string{
+				strategy.String(),
+				fmt.Sprintf("%d", shards),
+				seconds(res.Stats.Elapsed),
+				fmt.Sprintf("%.1f", float64(res.Stats.ShardMergeNs)/1e6),
+				fmt.Sprintf("%.2f", speedup),
+				fmt.Sprintf("%d", len(res.Patterns)),
+			})
+		}
+	}
+	return t, nil
+}

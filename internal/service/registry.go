@@ -13,10 +13,16 @@ import (
 )
 
 // Dataset file names inside one registry directory entry — the layout
-// flipgen writes.
+// flipgen writes. A dataset holds its transactions either as one
+// baskets.txt or as a shards/ subdirectory of per-shard basket files
+// (flipgen -shards); the sharded layout is loaded as a txdb.ShardedSource,
+// so counting fans a worker pool out over the shard files — with -stream
+// the shards are scanned in parallel straight from disk (out-of-core
+// mining).
 const (
 	taxonomyFile = "taxonomy.tsv"
 	basketsFile  = "baskets.txt"
+	shardsDir    = "shards"
 )
 
 // Dataset is one named taxonomy/basket pair the service can mine.
@@ -26,12 +32,22 @@ type Dataset struct {
 	// Tree is the taxonomy, extended (Figure 3 variant B) when the on-disk
 	// hierarchy is unbalanced so mining never rejects it.
 	Tree *taxonomy.Tree
-	// Src supplies the transactions: an in-memory txdb.DB, or a
+	// Src supplies the transactions: an in-memory txdb.DB, a
 	// txdb.FileSource re-reading the basket file on every pass when the
-	// registry runs in streaming mode.
+	// registry runs in streaming mode, or a txdb.ShardedSource when the
+	// dataset uses the sharded on-disk layout.
 	Src txdb.Source
 	// Stream records whether Src re-reads disk on every scan.
 	Stream bool
+}
+
+// Shards returns how many transaction shards the dataset's source fans
+// counting out over (1 for unsharded sources).
+func (d *Dataset) Shards() int {
+	if ss, ok := d.Src.(*txdb.ShardedSource); ok {
+		return ss.NumShards()
+	}
+	return 1
 }
 
 // DefaultConfig returns the paper-default mining configuration for the
@@ -54,6 +70,7 @@ type Info struct {
 	Nodes         int         `json:"nodes"`
 	Leaves        int         `json:"leaves"`
 	Stream        bool        `json:"stream"`
+	Shards        int         `json:"shards"`
 	DefaultConfig core.Config `json:"default_config"`
 }
 
@@ -92,12 +109,15 @@ func (r *Registry) AddMemory(name string, db *txdb.DB, tree *taxonomy.Tree) erro
 	return r.Add(&Dataset{Name: name, Tree: tree, Src: db})
 }
 
-// LoadDir scans dir for subdirectories holding a taxonomy.tsv + baskets.txt
-// pair (the flipgen output layout) and registers each under its directory
-// name. With stream set, baskets stay on disk behind a txdb.FileSource;
-// otherwise they are materialized into memory once at load time.
-// Subdirectories without the two files are skipped silently, so a data dir
-// can hold READMEs and scratch files. Returns the names registered.
+// LoadDir scans dir for subdirectories holding a taxonomy.tsv next to
+// either a baskets.txt or a shards/ directory of per-shard basket files
+// (the two flipgen output layouts) and registers each under its directory
+// name. With stream set, baskets stay on disk behind txdb.FileSources;
+// otherwise they are materialized into memory once at load time. Sharded
+// datasets load as txdb.ShardedSources, so every mine over them counts
+// shard-parallel. Subdirectories without the files are skipped silently, so
+// a data dir can hold READMEs and scratch files. Returns the names
+// registered.
 func (r *Registry) LoadDir(dir string, stream bool) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -110,14 +130,28 @@ func (r *Registry) LoadDir(dir string, stream bool) ([]string, error) {
 		}
 		sub := filepath.Join(dir, e.Name())
 		taxPath := filepath.Join(sub, taxonomyFile)
-		dbPath := filepath.Join(sub, basketsFile)
 		if _, err := os.Stat(taxPath); err != nil {
 			continue
 		}
+		// baskets.txt wins over shards/ so a dataset never silently changes
+		// content by gaining a shards/ directory; the sharded layout is only
+		// consulted when the single-file one is absent.
+		dbPath := filepath.Join(sub, basketsFile)
+		var shardPaths []string
 		if _, err := os.Stat(dbPath); err != nil {
-			continue
+			shardPaths, err = txdb.ShardDirFiles(filepath.Join(sub, shardsDir))
+			if err != nil && !os.IsNotExist(err) {
+				// A shards/ directory that exists but cannot be read must
+				// fail loudly, like a broken baskets.txt — not silently
+				// drop the dataset from the registry.
+				return names, fmt.Errorf("service: dataset %q: %w", e.Name(), err)
+			}
+			if len(shardPaths) == 0 {
+				continue
+			}
+			dbPath = ""
 		}
-		d, err := loadDataset(e.Name(), taxPath, dbPath, stream)
+		d, err := loadDataset(e.Name(), taxPath, dbPath, shardPaths, stream)
 		if err != nil {
 			return names, fmt.Errorf("service: dataset %q: %w", e.Name(), err)
 		}
@@ -130,8 +164,10 @@ func (r *Registry) LoadDir(dir string, stream bool) ([]string, error) {
 	return names, nil
 }
 
-// loadDataset reads one taxonomy/basket pair from disk.
-func loadDataset(name, taxPath, dbPath string, stream bool) (*Dataset, error) {
+// loadDataset reads one taxonomy/basket dataset from disk. Exactly one of
+// dbPath (single basket file) or shardPaths (sharded layout; dbPath empty)
+// supplies the transactions; LoadDir resolves which layout applies.
+func loadDataset(name, taxPath, dbPath string, shardPaths []string, stream bool) (*Dataset, error) {
 	tf, err := os.Open(taxPath)
 	if err != nil {
 		return nil, err
@@ -145,23 +181,19 @@ func loadDataset(name, taxPath, dbPath string, stream bool) (*Dataset, error) {
 		tree = tree.Extend()
 	}
 	d := &Dataset{Name: name, Tree: tree, Stream: stream}
-	if stream {
-		fs, err := txdb.OpenFile(dbPath, tree.Dict())
+	switch {
+	case len(shardPaths) > 0:
+		ss, err := txdb.OpenShards(shardPaths, tree.Dict(), stream)
 		if err != nil {
 			return nil, err
 		}
-		d.Src = fs
-	} else {
-		bf, err := os.Open(dbPath)
+		d.Src = ss
+	default:
+		s, err := txdb.OpenBasketSource(dbPath, tree.Dict(), stream)
 		if err != nil {
 			return nil, err
 		}
-		db, err := txdb.ReadBaskets(bf, tree.Dict())
-		bf.Close()
-		if err != nil {
-			return nil, err
-		}
-		d.Src = db
+		d.Src = s
 	}
 	return d, nil
 }
@@ -194,6 +226,7 @@ func (r *Registry) List() []Info {
 			Nodes:         d.Tree.NodeCount(),
 			Leaves:        len(d.Tree.Leaves()),
 			Stream:        d.Stream,
+			Shards:        d.Shards(),
 			DefaultConfig: d.DefaultConfig(),
 		})
 	}

@@ -1,9 +1,13 @@
 // Package txdb implements the transactional-database substrate: an in-memory
 // transaction store with a shared item dictionary, the basket text format,
 // a streaming file-backed source for disk-resident counting (the paper's
-// engines count "by sequential scans of disk-resident input data"), and
+// engines count "by sequential scans of disk-resident input data"),
 // materialized per-level views that map leaf items to their taxonomy
-// generalizations.
+// generalizations, and transaction sharding — Partition for splitting an
+// in-memory database into contiguous shards and ShardedSource for composing
+// per-shard sources (including disk-resident FileSources, the out-of-core
+// layout) — the data-partitioning layer behind the engine's shard-parallel
+// counting.
 package txdb
 
 import (
