@@ -124,3 +124,68 @@ func TestGenErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestGenDeterministic: the same seed must produce byte-identical output
+// across runs, for every mode and for both on-disk layouts — the property
+// the golden conformance fixtures (internal/golden) stand on when their
+// committed inputs are regenerated with -update.
+func TestGenDeterministic(t *testing.T) {
+	bin := buildGen(t)
+	runs := [][]string{
+		{"synthetic", "-n", "400", "-width", "4", "-roots", "4", "-fanout", "3", "-height", "3", "-items", "50", "-seed", "9"},
+		{"-shards", "5", "synthetic", "-n", "400", "-width", "4", "-roots", "4", "-fanout", "3", "-height", "3", "-items", "50", "-seed", "9"},
+		{"dataset", "-name", "groceries", "-scale", "0.05", "-seed", "9"},
+		{"toy"},
+	}
+	for _, args := range runs {
+		t.Run(strings.Join(args, "_"), func(t *testing.T) {
+			dirs := [2]string{t.TempDir(), t.TempDir()}
+			for _, dir := range dirs {
+				full := append([]string{"-out", dir}, args...)
+				if out, err := exec.Command(bin, full...).CombinedOutput(); err != nil {
+					t.Fatalf("flipgen %v: %v\n%s", full, err, out)
+				}
+			}
+			first := readAllFiles(t, dirs[0])
+			second := readAllFiles(t, dirs[1])
+			if len(first) != len(second) {
+				t.Fatalf("runs wrote different file sets: %d vs %d files", len(first), len(second))
+			}
+			for name, data := range first {
+				other, ok := second[name]
+				if !ok {
+					t.Errorf("second run is missing %s", name)
+					continue
+				}
+				if data != other {
+					t.Errorf("%s differs between two identically-seeded runs", name)
+				}
+			}
+		})
+	}
+}
+
+// readAllFiles loads every regular file under dir, keyed by relative path.
+func readAllFiles(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	files := make(map[string]string)
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		files[rel] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}

@@ -156,6 +156,16 @@ type ResultJSON struct {
 	Stats        StatsJSON     `json:"stats"`
 }
 
+// VolatileStatsKeys lists the StatsJSON wire fields whose values depend on
+// wall-clock time rather than on the mined data: two runs over the same
+// input produce identical envelopes except for exactly these keys. The
+// golden conformance harness (internal/golden) scrubs them before comparing
+// committed fixtures; any new timing field added to StatsJSON must be listed
+// here or fixtures regenerated on one machine will fail on the next.
+func VolatileStatsKeys() []string {
+	return []string{"elapsed", "elapsed_ns", "shard_merge_ns"}
+}
+
 // JSON converts the stats into their wire form.
 func (s *Stats) JSON() StatsJSON {
 	return StatsJSON{

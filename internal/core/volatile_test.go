@@ -1,0 +1,28 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestVolatileStatsKeysExist guards the contract between StatsJSON and the
+// golden conformance harness: every key declared volatile must actually be a
+// field of the marshaled stats envelope, so a rename cannot silently leave a
+// timing field unscrubbed (and flapping) in committed fixtures.
+func TestVolatileStatsKeysExist(t *testing.T) {
+	s := Stats{Elapsed: 123 * time.Millisecond, ShardMergeNs: 7}
+	raw, err := json.Marshal(s.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range VolatileStatsKeys() {
+		if _, ok := m[k]; !ok {
+			t.Errorf("VolatileStatsKeys lists %q, but StatsJSON has no such wire field", k)
+		}
+	}
+}

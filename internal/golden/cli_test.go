@@ -1,0 +1,96 @@
+package golden
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/flipper-mining/flipper/internal/core"
+)
+
+// The CLI surface is exercised through the real `flipper` binary, not an
+// in-process call: the conformance claim is that what an operator sees on
+// stdout with -json-api is byte-identical (after canonicalization) to the
+// core envelope committed in result.json.
+
+var (
+	cliBuildOnce sync.Once
+	cliBinPath   string
+	cliBuildOut  []byte
+	cliBuildErr  error
+)
+
+func flipperBin(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping real-binary CLI conformance in -short mode")
+	}
+	cliBuildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "flipper-golden-")
+		if err != nil {
+			cliBuildErr = err
+			return
+		}
+		cliBinPath = filepath.Join(dir, "flipper")
+		cmd := exec.Command("go", "build", "-o", cliBinPath, "github.com/flipper-mining/flipper/cmd/flipper")
+		cliBuildOut, cliBuildErr = cmd.CombinedOutput()
+	})
+	if cliBuildErr != nil {
+		t.Fatalf("building flipper binary: %v\n%s", cliBuildErr, cliBuildOut)
+	}
+	return cliBinPath
+}
+
+// TestCLIResultGolden runs the real binary over every committed scenario
+// with its canonical configuration rendered as flags and pins stdout to the
+// same result.json fixture the core surface is pinned to. Under -update the
+// CLI does not write the fixture (the core test owns it); it is instead
+// checked against the in-process engine, so a surface divergence cannot be
+// silently committed during regeneration.
+func TestCLIResultGolden(t *testing.T) {
+	for _, sc := range Scenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			bin := flipperBin(t)
+			cmd := exec.Command(bin, sc.CLIArgs()...)
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("flipper %v: %v\nstderr:\n%s", sc.CLIArgs(), err, stderr.String())
+			}
+			if *Update {
+				// The core test owns (re)writing result.json, and test order
+				// across files is not guaranteed; during regeneration the CLI
+				// is checked against a fresh in-process mine instead, so a
+				// surface divergence cannot be silently committed.
+				tree, src, cfg := sc.Load(t)
+				res, err := core.Mine(src, tree, cfg)
+				if err != nil {
+					t.Fatalf("Mine: %v", err)
+				}
+				raw, err := json.Marshal(res.JSON(tree))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := Canonical(raw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := Canonical(stdout.Bytes())
+				if err != nil {
+					t.Fatalf("canonicalizing CLI output: %v\nstdout:\n%s", err, stdout.String())
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("CLI envelope diverges from core envelope for %s:\n%s",
+						sc.Name, Diff(want, got))
+				}
+				return
+			}
+			Compare(t, filepath.Join(sc.Dir(), "result.json"), stdout.Bytes())
+		})
+	}
+}

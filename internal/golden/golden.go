@@ -1,0 +1,213 @@
+// Package golden is the wire-format conformance harness: every scenario
+// under testdata/golden/<name>/ commits an input dataset (taxonomy.tsv plus
+// baskets.txt or shards/), a config.json, and the expected JSON envelopes
+// (result.json for the core Mine → ResultJSON path and the flipper -json-api
+// CLI, job.json and the _suite/ files for the flipperd /v1 API). Tests mine
+// the committed inputs through all three surfaces and compare canonicalized
+// JSON by deep equality; `go test ./internal/golden -update` regenerates
+// every fixture deterministically.
+//
+// Canonicalization re-marshals the JSON with sorted keys and stable
+// indentation and scrubs exactly the fields the wire layers declare volatile
+// (core.VolatileStatsKeys, service.VolatileWireKeys): timestamps, elapsed
+// durations, uptimes and generated job IDs. Everything else — field names,
+// pattern order, supports, correlations, counters — is pinned byte for byte,
+// which is what makes engine refactors (distributed flipperd, streaming
+// ingestion, top-K) safe to land against this suite.
+package golden
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/flipper-mining/flipper/internal/core"
+	"github.com/flipper-mining/flipper/internal/service"
+)
+
+// Update is the regeneration switch: `go test ./internal/golden -update`
+// rewrites every committed fixture (inputs and expected envelopes) instead
+// of comparing. Run it over the whole package, not with -run filters, so no
+// fixture is left stale.
+var Update = flag.Bool("update", false, "regenerate golden fixtures instead of comparing")
+
+// Root is the fixture tree, relative to this package directory (the working
+// directory of its tests).
+const Root = "testdata/golden"
+
+// SuiteDir holds the fixtures that span scenarios (the /v1 endpoint and
+// error envelopes); the leading underscore keeps it from parsing as a
+// dataset directory.
+var SuiteDir = filepath.Join(Root, "_suite")
+
+// volatileKeys is the union of the volatile wire fields declared by the core
+// and service layers; scrub replaces their values with fixed sentinels.
+var volatileKeys = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, k := range core.VolatileStatsKeys() {
+		m[k] = true
+	}
+	for _, k := range service.VolatileWireKeys() {
+		m[k] = true
+	}
+	return m
+}()
+
+// Canonical parses raw JSON and re-renders it deterministically: object keys
+// sorted (encoding/json marshals maps that way), two-space indentation, a
+// trailing newline, and every volatile wire field replaced by a sentinel of
+// its own type ("<volatile>" for strings, 0 for numbers).
+func Canonical(raw []byte) ([]byte, error) {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("golden: invalid JSON: %w", err)
+	}
+	scrub(v)
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// scrub walks the decoded JSON tree replacing volatile values in place.
+func scrub(v any) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, val := range x {
+			if volatileKeys[k] {
+				switch val.(type) {
+				case string:
+					x[k] = "<volatile>"
+				case float64:
+					x[k] = 0
+				}
+				continue
+			}
+			scrub(val)
+		}
+	case []any:
+		for _, e := range x {
+			scrub(e)
+		}
+	}
+}
+
+// Compare canonicalizes got and checks it against the committed fixture at
+// path. Under -update it (re)writes the fixture instead. On mismatch it
+// fails with a line diff and, when the GOLDEN_DIFF_DIR environment variable
+// is set (the CI conformance job sets it), drops the canonicalized actual
+// bytes and the diff there so the break is diagnosable from the uploaded
+// artifact alone.
+func Compare(t *testing.T, path string, got []byte) {
+	t.Helper()
+	canon, err := Canonical(got)
+	if err != nil {
+		t.Fatalf("golden: %s: %v\nraw output:\n%s", path, err, got)
+	}
+	if *Update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, canon, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden: missing fixture %s (regenerate with `go test ./internal/golden -update`): %v", path, err)
+	}
+	if bytes.Equal(canon, want) {
+		return
+	}
+	d := Diff(want, canon)
+	saveDiffArtifact(t, path, canon, d)
+	t.Errorf("golden mismatch for %s (regenerate with `go test ./internal/golden -update` if the change is intended):\n%s", path, d)
+}
+
+// ReadFixture loads a committed fixture, failing the test if it is absent.
+func ReadFixture(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden: missing fixture %s (regenerate with `go test ./internal/golden -update`): %v", path, err)
+	}
+	return b
+}
+
+// Diff renders a loud line-oriented comparison of two canonical JSON
+// documents: every run of differing lines is printed with -/+ markers and a
+// few lines of surrounding context, capped so a wholly different envelope
+// does not flood the log.
+func Diff(want, got []byte) string {
+	const context, maxBlocks = 2, 8
+	w := strings.Split(strings.TrimSuffix(string(want), "\n"), "\n")
+	g := strings.Split(strings.TrimSuffix(string(got), "\n"), "\n")
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- want (%d lines)\n+++ got (%d lines)\n", len(w), len(g))
+	blocks := 0
+	i := 0
+	for i < len(w) || i < len(g) {
+		if i < len(w) && i < len(g) && w[i] == g[i] {
+			i++
+			continue
+		}
+		// Start of a differing block: find where the streams re-align.
+		j := i
+		for j < len(w) || j < len(g) {
+			if j < len(w) && j < len(g) && w[j] == g[j] {
+				break
+			}
+			j++
+		}
+		if blocks++; blocks > maxBlocks {
+			b.WriteString("... (more differences truncated)\n")
+			break
+		}
+		for c := max(0, i-context); c < i; c++ {
+			fmt.Fprintf(&b, "  %4d   %s\n", c+1, w[c])
+		}
+		for c := i; c < j && c < len(w); c++ {
+			fmt.Fprintf(&b, "- %4d   %s\n", c+1, w[c])
+		}
+		for c := i; c < j && c < len(g); c++ {
+			fmt.Fprintf(&b, "+ %4d   %s\n", c+1, g[c])
+		}
+		for c := j; c < min(j+context, min(len(w), len(g))); c++ {
+			fmt.Fprintf(&b, "  %4d   %s\n", c+1, w[c])
+		}
+		i = j
+	}
+	return b.String()
+}
+
+// saveDiffArtifact writes the actual bytes and the diff under
+// $GOLDEN_DIFF_DIR, mirroring the fixture layout, for CI artifact upload.
+func saveDiffArtifact(t *testing.T, path string, got []byte, diff string) {
+	t.Helper()
+	dir := os.Getenv("GOLDEN_DIFF_DIR")
+	if dir == "" {
+		return
+	}
+	rel, err := filepath.Rel(Root, path)
+	if err != nil {
+		rel = filepath.Base(path)
+	}
+	dst := filepath.Join(dir, rel)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Logf("golden: diff artifact: %v", err)
+		return
+	}
+	if err := os.WriteFile(dst+".got", got, 0o644); err != nil {
+		t.Logf("golden: diff artifact: %v", err)
+	}
+	if err := os.WriteFile(dst+".diff", []byte(diff), 0o644); err != nil {
+		t.Logf("golden: diff artifact: %v", err)
+	}
+}

@@ -79,6 +79,17 @@ type JobView struct {
 	ElapsedNS int64           `json:"elapsed_ns,omitempty"`
 }
 
+// VolatileWireKeys lists the service wire fields that legitimately change
+// from run to run over identical inputs — generated job identifiers,
+// submission/start/finish timestamps, and uptime/elapsed durations. The
+// golden conformance harness (internal/golden) scrubs exactly these keys
+// (plus core.VolatileStatsKeys) before comparing committed envelopes; a new
+// timestamp or counter that varies run-to-run must be added here, or the
+// fixtures will flap.
+func VolatileWireKeys() []string {
+	return []string{"id", "created", "started", "finished", "elapsed_ns", "uptime"}
+}
+
 // mineResult is the payload of a completed mine job (core.ResultJSON) and
 // sweepResult the payload of a completed sweep job.
 type sweepResult struct {

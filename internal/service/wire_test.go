@@ -1,0 +1,48 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestVolatileWireKeysExist guards the contract between the service wire
+// forms and the golden conformance harness: every key declared volatile must
+// appear in at least one of the envelopes the /v1 API emits (a completed
+// JobView, the stats body, the health body), so a field rename cannot leave
+// a timestamp unscrubbed in committed fixtures.
+func TestVolatileWireKeysExist(t *testing.T) {
+	now := time.Now()
+	jv := JobView{
+		ID:        "job-000001",
+		Status:    StatusDone,
+		Created:   now,
+		Started:   &now,
+		Finished:  &now,
+		ElapsedNS: 42,
+	}
+	envelopes := []any{
+		jv,
+		statsBody{Uptime: "1ms"},
+		map[string]any{"status": "ok", "uptime": "1ms", "version": "v1"},
+	}
+	seen := map[string]bool{}
+	for _, e := range envelopes {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		for k := range m {
+			seen[k] = true
+		}
+	}
+	for _, k := range VolatileWireKeys() {
+		if !seen[k] {
+			t.Errorf("VolatileWireKeys lists %q, but no service envelope has such a wire field", k)
+		}
+	}
+}
