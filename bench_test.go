@@ -309,27 +309,93 @@ func denseWorkload(b *testing.B) (*txdb.DB, *taxonomy.Tree) {
 // (see docs/ARCHITECTURE.md for recorded numbers).
 func BenchmarkCountingDense(b *testing.B) {
 	db, tree := denseWorkload(b)
-	for _, s := range []struct {
-		name     string
-		strategy flipper.CountStrategy
-	}{
-		{"scan", flipper.CountScan},
-		{"tidlist", flipper.CountTIDList},
-		{"bitmap", flipper.CountBitmap},
-		{"auto", flipper.CountAuto},
-	} {
+	for _, s := range denseStrategies {
 		b.Run(s.name, func(b *testing.B) {
-			cfg := flipper.Config{
-				Measure:     flipper.Kulczynski,
-				Gamma:       0.3,
-				Epsilon:     0.1,
-				MinSupAbs:   []int64{5, 5},
-				Pruning:     flipper.Basic,
-				Strategy:    s.strategy,
-				MaxK:        2,
-				Materialize: true,
+			mineOnce(b, db, tree, denseConfig(s.strategy))
+		})
+	}
+}
+
+// denseConfig is the BenchmarkCountingDense configuration for one strategy.
+func denseConfig(strategy flipper.CountStrategy) flipper.Config {
+	return flipper.Config{
+		Measure:     flipper.Kulczynski,
+		Gamma:       0.3,
+		Epsilon:     0.1,
+		MinSupAbs:   []int64{5, 5},
+		Pruning:     flipper.Basic,
+		Strategy:    strategy,
+		MaxK:        2,
+		Materialize: true,
+	}
+}
+
+var denseStrategies = []struct {
+	name     string
+	strategy flipper.CountStrategy
+}{
+	{"scan", flipper.CountScan},
+	{"tidlist", flipper.CountTIDList},
+	{"bitmap", flipper.CountBitmap},
+	{"auto", flipper.CountAuto},
+}
+
+// BenchmarkCountingDenseWarm is the steady-state counterpart of
+// BenchmarkCountingDense: one engine per strategy, prewarmed with a single
+// run, so the loop measures what a resident flipperd pays per job — level
+// views, counting indexes and scratch arenas all come from the engine's
+// caches. The gap to the cold benchmark is the price of data preparation;
+// the committed BENCH_*.json baselines track both.
+func BenchmarkCountingDenseWarm(b *testing.B) {
+	db, tree := denseWorkload(b)
+	for _, s := range denseStrategies {
+		b.Run(s.name, func(b *testing.B) {
+			cfg := denseConfig(s.strategy)
+			eng := flipper.NewEngine(db, tree)
+			if _, err := eng.Mine(cfg); err != nil {
+				b.Fatal(err)
 			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var patterns int
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Mine(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				patterns = len(res.Patterns)
+			}
+			b.ReportMetric(float64(patterns), "patterns")
+		})
+	}
+}
+
+// BenchmarkCountingDenseSharded covers the shard-parallel backends on the
+// dense workload (shards=4), cold and warm — the variants the CI alloc
+// budgets pin alongside the unsharded ones.
+func BenchmarkCountingDenseSharded(b *testing.B) {
+	db, tree := denseWorkload(b)
+	for _, s := range denseStrategies {
+		if s.strategy != flipper.CountScan && s.strategy != flipper.CountBitmap {
+			continue
+		}
+		cfg := denseConfig(s.strategy)
+		cfg.Shards = 4
+		b.Run(s.name, func(b *testing.B) {
 			mineOnce(b, db, tree, cfg)
+		})
+		b.Run(s.name+"_warm", func(b *testing.B) {
+			eng := flipper.NewEngine(db, tree)
+			if _, err := eng.Mine(cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Mine(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

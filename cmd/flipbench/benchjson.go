@@ -69,16 +69,27 @@ func runBenchJSON(path, tag string) error {
 		MaxProcs:  runtime.GOMAXPROCS(0),
 		Workload:  "dense: 8000 tx × 16 items, 64 cats × 2 leaves (BenchmarkCountingDense)",
 	}
-	record := func(name string, cfg core.Config) error {
-		// One instrumented run for the engine's own counters.
-		res, err := core.Mine(db, tree, cfg)
+	// record measures one configuration. With eng set it measures the warm
+	// steady state — the engine is prewarmed by the instrumented run, so the
+	// loop reuses cached level views, indexes and scratch; with eng nil every
+	// iteration builds a throwaway engine (the cold, one-shot cost).
+	record := func(name string, cfg core.Config, eng *core.Engine) error {
+		mine := func() (*core.Result, error) {
+			if eng != nil {
+				return eng.Mine(cfg)
+			}
+			return core.Mine(db, tree, cfg)
+		}
+		// One instrumented run for the engine's own counters (and the warm-up
+		// for warm records).
+		res, err := mine()
 		if err != nil {
 			return err
 		}
 		br := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Mine(db, tree, cfg); err != nil {
+				if _, err := mine(); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -104,7 +115,12 @@ func runBenchJSON(path, tag string) error {
 		return nil
 	}
 	for _, s := range []core.CountStrategy{core.CountScan, core.CountTIDList, core.CountBitmap, core.CountAuto} {
-		if err := record("CountingDense/"+s.String(), cfgFor(s)); err != nil {
+		if err := record("CountingDense/"+s.String(), cfgFor(s), nil); err != nil {
+			return err
+		}
+		// The warm counterpart: one persistent engine per strategy, measuring
+		// the steady-state cost a resident flipperd pays per job.
+		if err := record("CountingDense/"+s.String()+"/warm", cfgFor(s), core.NewEngine(db, tree)); err != nil {
 			return err
 		}
 	}
@@ -115,9 +131,15 @@ func runBenchJSON(path, tag string) error {
 			cfg := cfgFor(s)
 			cfg.Shards = shards
 			name := fmt.Sprintf("CountingDense/%s/shards=%d", s.String(), shards)
-			if err := record(name, cfg); err != nil {
+			if err := record(name, cfg, nil); err != nil {
 				return err
 			}
+		}
+		cfg := cfgFor(s)
+		cfg.Shards = 4
+		name := fmt.Sprintf("CountingDense/%s/shards=%d/warm", s.String(), 4)
+		if err := record(name, cfg, core.NewEngine(db, tree)); err != nil {
+			return err
 		}
 	}
 	f, err := os.Create(path)

@@ -27,21 +27,46 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 
 	"github.com/flipper-mining/flipper/internal/experiments"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		scale    = flag.String("scale", "quick", "workload scale: quick or paper")
-		csvDir   = flag.String("csv", "", "directory to write <exp>.csv files into")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		listExp  = flag.Bool("list", false, "list available experiments")
-		jsonPath = flag.String("json", "", "run the counting micro-bench suite and write BENCH JSON to this file")
-		tag      = flag.String("tag", "dev", "tag recorded in the -json output")
+		exp        = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale      = flag.String("scale", "quick", "workload scale: quick or paper")
+		csvDir     = flag.String("csv", "", "directory to write <exp>.csv files into")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		listExp    = flag.Bool("list", false, "list available experiments")
+		jsonPath   = flag.String("json", "", "run the counting micro-bench suite and write BENCH JSON to this file")
+		tag        = flag.String("tag", "dev", "tag recorded in the -json output")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format; feeds go build -pgo)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flipbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "flipbench: %v\n", err)
+			os.Exit(1)
+		}
+		// The profile of the -json micro suite is the committed default.pgo:
+		// it concentrates samples in the counting hot loops the campaign
+		// targets (see docs/OPERATIONS.md on refreshing it).
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "flipbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *cpuprofile)
+		}()
+	}
 
 	if *jsonPath != "" {
 		if err := runBenchJSON(*jsonPath, *tag); err != nil {

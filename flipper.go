@@ -139,9 +139,24 @@ const (
 
 // Mine runs the Flipper algorithm (or the BASIC baseline, per cfg.Pruning)
 // over src with the given taxonomy and returns all flipping patterns.
+//
+// Each call prepares the data from scratch. To mine the same dataset more
+// than once — threshold sweeps, parameter exploration, serving repeated
+// queries — use NewEngine and Engine.Mine, which cache level views,
+// counting indexes and scratch memory across runs.
 func Mine(src Source, tree *Taxonomy, cfg Config) (*Result, error) {
 	return core.Mine(src, tree, cfg)
 }
+
+// Engine is a reusable miner bound to one dataset. Materialized level
+// views, bitmap and tid-list indexes, and counting scratch built for one
+// Mine call are reused by subsequent calls with compatible configurations,
+// so repeat runs skip data preparation entirely. Results are byte-identical
+// to the one-shot Mine. An Engine is safe for concurrent use.
+type Engine = core.Engine
+
+// NewEngine returns a reusable mining engine over one source and taxonomy.
+func NewEngine(src Source, tree *Taxonomy) *Engine { return core.NewEngine(src, tree) }
 
 // DefaultConfig returns the paper's default settings for a taxonomy of the
 // given height: Kulczynski, γ=0.3, ε=0.1, full pruning, and per-level

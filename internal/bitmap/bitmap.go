@@ -135,8 +135,13 @@ func (ix *Index) SupportInto(items itemset.Set, scratch []Vector) (sup int64, wo
 // supportOf AND-folds the vectors word-major: for each word position the
 // partial AND short-circuits to the next position as soon as it hits zero,
 // then surviving bits are resolved against the weight vector (or a plain
-// popcount when every weight is 1).
+// popcount when every weight is 1). Pairs — the dominant case, since level-2
+// cells of the search table hold 2-itemsets — take a specialized unrolled
+// path that reports the same word-op count the general fold would.
 func (ix *Index) supportOf(vecs []Vector) (sup int64, wordOps int64) {
+	if len(vecs) == 2 {
+		return ix.supportOf2(vecs[0], vecs[1])
+	}
 	for w := 0; w < ix.words; w++ {
 		word := vecs[0][w]
 		wordOps++
@@ -158,4 +163,32 @@ func (ix *Index) supportOf(vecs []Vector) (sup int64, wordOps int64) {
 		}
 	}
 	return sup, wordOps
+}
+
+// supportOf2 is the pair kernel: a straight AND+popcount sweep with no
+// per-word branching. The general fold would charge one op for loading a's
+// word plus one for the AND whenever that word is non-zero (the short-circuit
+// skips the AND on zero words), so the equivalent count is
+// words + nonzero-words-of-a, accumulated branchlessly.
+func (ix *Index) supportOf2(a, b Vector) (sup int64, wordOps int64) {
+	a = a[:ix.words]
+	b = b[:ix.words]
+	nz := int64(0)
+	if ix.uniform {
+		for w, aw := range a {
+			nz += int64((aw | -aw) >> 63)
+			sup += int64(bits.OnesCount64(aw & b[w]))
+		}
+		return sup, int64(len(a)) + nz
+	}
+	for w, aw := range a {
+		nz += int64((aw | -aw) >> 63)
+		word := aw & b[w]
+		base := w << 6
+		for word != 0 {
+			sup += ix.weights[base+bits.TrailingZeros64(word)]
+			word &= word - 1
+		}
+	}
+	return sup, int64(len(a)) + nz
 }

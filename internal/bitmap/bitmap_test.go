@@ -180,3 +180,59 @@ func TestSupportMatchesBruteForceRandom(t *testing.T) {
 		}
 	}
 }
+
+// TestPairKernelMatchesGeneralFold pins the specialized 2-vector kernel to
+// the general word-major fold: same support and — because stats are part of
+// the golden wire format — the exact same word-op count, across uniform and
+// weighted indexes of varying density.
+func TestPairKernelMatchesGeneralFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		var weights []int64
+		if trial%2 == 1 {
+			weights = make([]int64, n)
+			for i := range weights {
+				weights[i] = 1 + int64(rng.Intn(4))
+			}
+		}
+		txs := make([]itemset.Set, n)
+		density := 1 + rng.Intn(4)
+		for i := range txs {
+			var s []itemset.ID
+			for id := itemset.ID(1); id <= 3; id++ {
+				if rng.Intn(4) < density {
+					s = append(s, id)
+				}
+			}
+			txs[i] = s
+		}
+		ix := Build(txs, weights)
+		a, aok := ix.ItemVector(1)
+		b, bok := ix.ItemVector(2)
+		if !aok || !bok {
+			continue
+		}
+		// Reference: the general fold, forced by padding with an all-ones
+		// vector that changes neither the AND result nor a-word zeroness.
+		ones := make(Vector, ix.words)
+		for i := range ones {
+			ones[i] = ^uint64(0)
+		}
+		gotSup, gotOps := ix.supportOf2(a, b)
+		refSup, refOps := ix.supportOf([]Vector{a, b, ones, ones})
+		// The 4-way fold charges extra ops for the two padding vectors:
+		// one AND per padding vector per word whose a&b partial survives.
+		pad := int64(0)
+		for w := 0; w < ix.words; w++ {
+			if a[w]&b[w] != 0 {
+				pad += 2
+			}
+		}
+		refOps -= pad
+		if gotSup != refSup || gotOps != refOps {
+			t.Fatalf("trial %d (n=%d uniform=%v): pair kernel (sup=%d ops=%d) vs general fold (sup=%d ops=%d)",
+				trial, n, weights == nil, gotSup, gotOps, refSup, refOps)
+		}
+	}
+}

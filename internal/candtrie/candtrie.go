@@ -46,16 +46,24 @@ type Store struct {
 	ids   []itemset.ID // item arena: entry e owns ids[e*k : (e+1)*k]
 	Sup   []int64      // per-entry support, filled by the counting backends
 
-	// present is the item-membership bitset over [minID, maxID], built by
-	// Freeze; Filter consults it to drop transaction items no candidate
-	// contains before descending.
+	// kids[n] is node n's child count, maintained incrementally by Insert so
+	// Freeze can size every CSR span exactly without walking sibling chains
+	// twice or regrowing slabs.
+	kids []int32
+
+	// present is the item-membership bitset over [minID, maxID]; the ID
+	// bounds are maintained incrementally by Insert, the bitset is filled by
+	// Freeze into a reused slab. Filter consults it to drop transaction items
+	// no candidate contains before descending.
 	present      []uint64
 	minID, maxID itemset.ID
 	frozen       bool
 
-	// The CSR child index, built by Freeze: node n's children live at
+	// The CSR child index: node n's children live at
 	// csrItems/csrChild/csrEntry[csrStart[n]:csrStart[n+1]], sorted
-	// ascending by item. CountTx descends these contiguous spans instead of
+	// ascending by item. Span sizes accumulate at Insert time (kids); Freeze
+	// is one exact-size fill pass into slabs that are reused across
+	// Freeze/Reset cycles. CountTx descends these contiguous spans instead of
 	// chasing sibling links — sequential loads, binary search when a span
 	// is much longer than the transaction, and csrEntry keeps terminal hits
 	// from ever touching the node slab.
@@ -67,7 +75,27 @@ type Store struct {
 
 // New returns an empty store for k-itemsets.
 func New(k int) *Store {
-	return &Store{k: k, nodes: []node{{child: -1, next: -1, entry: -1}}}
+	return &Store{
+		k:     k,
+		nodes: []node{{child: -1, next: -1, entry: -1}},
+		kids:  []int32{0},
+		minID: 1, // inverted sentinel range until the first insert
+	}
+}
+
+// Reset empties the store for reuse with the same k, retaining every slab's
+// capacity — node slab, item arena, support slice, CSR index and membership
+// bitset. A pooled store that cycles through Reset/Insert/Freeze allocates
+// only when a later candidate set outgrows the largest one it has held.
+func (s *Store) Reset() {
+	s.nodes = s.nodes[:1]
+	s.nodes[0] = node{child: -1, next: -1, entry: -1}
+	s.kids = s.kids[:1]
+	s.kids[0] = 0
+	s.ids = s.ids[:0]
+	s.Sup = s.Sup[:0]
+	s.minID, s.maxID = 1, 0
+	s.frozen = false
 }
 
 // Len returns the number of entries (registered candidates).
@@ -103,6 +131,15 @@ func (s *Store) Insert(items itemset.Set) (int32, bool) {
 		if c == -1 || s.nodes[c].item != id {
 			nn := int32(len(s.nodes))
 			s.nodes = append(s.nodes, node{item: id, child: -1, next: c, entry: -1})
+			s.kids = append(s.kids, 0)
+			s.kids[n]++
+			if s.minID > s.maxID {
+				s.minID, s.maxID = id, id
+			} else if id < s.minID {
+				s.minID = id
+			} else if id > s.maxID {
+				s.maxID = id
+			}
 			if prev == -1 {
 				s.nodes[n].child = nn
 			} else {
@@ -157,48 +194,61 @@ func (s *Store) walk(n int32, fn func(e int32, items itemset.Set)) {
 	}
 }
 
+// grown returns buf resized to n elements, reusing its backing array when
+// the capacity suffices (contents are unspecified; callers overwrite).
+func grown[T int32 | uint64](buf []T, n int) []T {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]T, n)
+}
+
 // Freeze builds the read-side indexes: the item-membership bitset and the
-// CSR child spans. It must be called after the last Insert and before
-// Filter/CountTx are used (possibly from multiple goroutines); all
-// read-side methods are then safe for concurrent use.
+// CSR child spans. The expensive parts were already paid incrementally by
+// Insert — per-node child counts size every span exactly and the ID bounds
+// are known — so Freeze is a prefix sum plus one fill pass into slabs reused
+// across Freeze/Reset cycles, not a stop-the-world rebuild with regrowing
+// appends. It must be called after the last Insert and before Filter/CountTx
+// are used (possibly from multiple goroutines); all read-side methods are
+// then safe for concurrent use.
 func (s *Store) Freeze() {
 	if s.frozen {
 		return
 	}
 	s.frozen = true
-	s.present = nil
-	s.csrStart = make([]int32, len(s.nodes)+1)
-	s.csrItems = s.csrItems[:0]
-	s.csrChild = s.csrChild[:0]
-	s.csrEntry = s.csrEntry[:0]
+	// Every non-root node is exactly one parent's child, so the spans hold
+	// len(nodes)-1 slots in total.
+	total := len(s.nodes) - 1
+	s.csrStart = grown(s.csrStart, len(s.nodes)+1)
+	s.csrItems = grown(s.csrItems, total)
+	s.csrChild = grown(s.csrChild, total)
+	s.csrEntry = grown(s.csrEntry, total)
+	sum := int32(0)
 	for n := range s.nodes {
-		s.csrStart[n] = int32(len(s.csrItems))
+		s.csrStart[n] = sum
+		sum += s.kids[n]
+	}
+	s.csrStart[len(s.nodes)] = sum
+	for n := range s.nodes {
+		pos := s.csrStart[n]
 		for c := s.nodes[n].child; c != -1; c = s.nodes[c].next {
-			s.csrItems = append(s.csrItems, s.nodes[c].item)
-			s.csrChild = append(s.csrChild, c)
-			s.csrEntry = append(s.csrEntry, s.nodes[c].entry)
+			s.csrItems[pos] = s.nodes[c].item
+			s.csrChild[pos] = c
+			s.csrEntry[pos] = s.nodes[c].entry
+			pos++
 		}
 	}
-	s.csrStart[len(s.nodes)] = int32(len(s.csrItems))
 	if len(s.nodes) == 1 {
-		// Empty store: an inverted sentinel range makes has() reject every
-		// ID without consulting the (nil) bitset.
-		s.minID, s.maxID = 1, 0
+		// Empty store: the inverted sentinel range (min > max, kept by
+		// New/Reset) makes has() reject every ID without consulting the
+		// bitset.
+		s.present = s.present[:0]
 		return
 	}
-	min, max := s.nodes[1].item, s.nodes[1].item
+	s.present = grown(s.present, (int(s.maxID)-int(s.minID))>>6+1)
+	clear(s.present)
 	for _, n := range s.nodes[1:] {
-		if n.item < min {
-			min = n.item
-		}
-		if n.item > max {
-			max = n.item
-		}
-	}
-	s.minID, s.maxID = min, max
-	s.present = make([]uint64, (int(max)-int(min))>>6+1)
-	for _, n := range s.nodes[1:] {
-		off := uint(n.item - min)
+		off := uint(n.item - s.minID)
 		s.present[off>>6] |= 1 << (off & 63)
 	}
 }

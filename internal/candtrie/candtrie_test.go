@@ -189,3 +189,57 @@ func TestEmptyStore(t *testing.T) {
 	}
 	s.Walk(func(int32, itemset.Set) { t.Fatal("Walk visited an entry") })
 }
+
+// TestResetReuse cycles one store through Reset/Insert/Freeze with different
+// candidate sets and checks each generation counts exactly like a fresh
+// store — the property the engine's store pool depends on.
+func TestResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	reused := New(2)
+	for gen := 0; gen < 50; gen++ {
+		reused.Reset()
+		fresh := New(2)
+		universe := 4 + rng.Intn(12)
+		for i := 0; i < rng.Intn(20); i++ {
+			a := itemset.ID(rng.Intn(universe))
+			b := itemset.ID(rng.Intn(universe))
+			if a == b {
+				continue
+			}
+			set := itemset.New(a, b)
+			re, ra := reused.Insert(set)
+			fe, fa := fresh.Insert(set)
+			if re != fe || ra != fa {
+				t.Fatalf("gen %d: Insert(%v) = (%d,%v) reused vs (%d,%v) fresh", gen, set, re, ra, fe, fa)
+			}
+		}
+		reused.Freeze()
+		fresh.Freeze()
+		if reused.Len() != fresh.Len() || reused.NodeCount() != fresh.NodeCount() {
+			t.Fatalf("gen %d: Len/NodeCount diverged", gen)
+		}
+		rc := make([]int64, reused.Len())
+		fc := make([]int64, fresh.Len())
+		var rbuf, fbuf itemset.Set
+		for txi := 0; txi < 20; txi++ {
+			var ids []itemset.ID
+			for j := 0; j < rng.Intn(universe+2); j++ {
+				ids = append(ids, itemset.ID(rng.Intn(universe)))
+			}
+			tx := itemset.New(ids...)
+			rbuf = reused.Filter(tx, rbuf[:0])
+			fbuf = fresh.Filter(tx, fbuf[:0])
+			if !rbuf.Equal(fbuf) {
+				t.Fatalf("gen %d: Filter diverged: %v vs %v", gen, rbuf, fbuf)
+			}
+			reused.CountTx(rbuf, 1, rc)
+			fresh.CountTx(fbuf, 1, fc)
+		}
+		for i := range rc {
+			if rc[i] != fc[i] {
+				t.Fatalf("gen %d: count of %v = %d reused, %d fresh",
+					gen, reused.Items(int32(i)), rc[i], fc[i])
+			}
+		}
+	}
+}

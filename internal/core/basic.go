@@ -14,7 +14,7 @@ import (
 
 func (m *miner) mineBasic() []Pattern {
 	for h := 1; h <= m.height; h++ {
-		kMax := m.widths[h]
+		kMax := m.ds.widths[h]
 		if f := len(m.freq1[h]); f < kMax {
 			kMax = f
 		}
@@ -39,7 +39,7 @@ func (m *miner) mineBasic() []Pattern {
 // cell Q(h,k-1): joins of prefix-sharing frequent itemsets whose items
 // descend from pairwise distinct level-1 roots, with the full subset check.
 func (m *miner) basicCell(h, k int) *cell {
-	c := newCell(h, k)
+	c := m.cell(h, k)
 	if k == 2 {
 		items := m.frequentItems(h)
 		for i := 0; i < len(items); i++ {
@@ -89,8 +89,8 @@ func (m *miner) finishBasicCell(c *cell) {
 		m.count(c)
 	}
 	thr := m.minSup[c.h]
-	sup1 := m.sup1[c.h]
-	sups := make([]int64, c.k)
+	sup1 := m.ds.sup1[c.h]
+	sups := m.sc.supsFor(c.k)
 	for i := range c.meta {
 		e := &c.meta[i]
 		sup := c.store.Sup[i]
@@ -140,8 +140,10 @@ func (m *miner) collectBasic() []Pattern {
 			}
 			leafItems := leafCell.store.Items(int32(i))
 			chain := make([]LevelInfo, m.height)
+			// Patterns outlive the run, but the store arenas are pooled and
+			// reused by the next Mine on this engine — clone what escapes.
 			chain[m.height-1] = LevelInfo{
-				Level: m.height, Items: leafItems, Support: leafCell.store.Sup[i],
+				Level: m.height, Items: leafItems.Clone(), Support: leafCell.store.Sup[i],
 				Corr: e.corr, Label: e.label,
 			}
 			ok := true
@@ -167,14 +169,14 @@ func (m *miner) collectBasic() []Pattern {
 					break
 				}
 				chain[h-1] = LevelInfo{
-					Level: h, Items: row.store.Items(pi), Support: row.store.Sup[pi],
+					Level: h, Items: row.store.Items(pi).Clone(), Support: row.store.Sup[pi],
 					Corr: pe.corr, Label: pe.label,
 				}
 			}
 			if !ok {
 				continue
 			}
-			p := Pattern{Leaf: leafItems, Chain: chain}
+			p := Pattern{Leaf: chain[m.height-1].Items, Chain: chain}
 			p.computeGap()
 			m.stats.AliveItemsets++
 			out = append(out, p)

@@ -11,7 +11,7 @@ import (
 // contain every frequent k-itemset at level 1 — which is what makes the
 // zigzag's TPG check meaningful and keeps the miner complete.
 func (m *miner) row1Cell(k int) *cell {
-	c := newCell(1, k)
+	c := m.cell(1, k)
 	if k == 2 {
 		items := m.frequentItems(1)
 		for i := 0; i < len(items); i++ {
@@ -75,7 +75,7 @@ func (m *miner) allSubsetsFrequent(prev *cell, joined itemset.Set, scratch items
 // this expansion is complete for the flipping-pattern search even though the
 // cells it produces are subsets of all frequent itemsets (see DESIGN.md).
 func (m *miner) childCell(h, k int) *cell {
-	c := newCell(h, k)
+	c := m.cell(h, k)
 	parentCell := m.rows[h-1][k]
 	if parentCell == nil || parentCell.alive == 0 {
 		return c
@@ -87,6 +87,7 @@ func (m *miner) childCell(h, k int) *cell {
 	lists := make([][]itemset.ID, k)
 	idx := make([]int, k)
 	combo := make([]itemset.ID, k)
+	cand := m.sc.candFor(k)
 	scratch := make(itemset.Set, k-1)
 	parentCell.store.Walk(func(pe int32, pItems itemset.Set) {
 		pm := &parentCell.meta[pe]
@@ -117,7 +118,16 @@ func (m *miner) childCell(h, k int) *cell {
 			for i := range combo {
 				combo[i] = lists[i][idx[i]]
 			}
-			cand := itemset.New(combo...)
+			// Children of distinct parents are distinct nodes, so the combo
+			// needs only sorting, not dedup; insertion sort in the scratch
+			// buffer replaces an itemset.New allocation per candidate (the
+			// store copies on Insert).
+			copy(cand, combo)
+			for i := 1; i < k; i++ {
+				for j := i; j > 0 && cand[j] < cand[j-1]; j-- {
+					cand[j], cand[j-1] = cand[j-1], cand[j]
+				}
+			}
 			if left != nil && m.hasInfrequentSubset(left, cand, scratch) {
 				m.stats.SubsetPruned++
 			} else {

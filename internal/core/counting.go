@@ -5,13 +5,13 @@ import (
 
 	"github.com/flipper-mining/flipper/internal/bitmap"
 	"github.com/flipper-mining/flipper/internal/itemset"
-	"github.com/flipper-mining/flipper/internal/txdb"
 )
 
 // count fills in the support of every candidate in the cell with one pass
 // over the data, one set of tid-list intersections, or one batch of bitmap
-// AND+popcounts. The cell's trie is frozen here (item-membership bitset
-// built), after which the store is safe for concurrent readers.
+// AND+popcounts. The cell's trie is frozen here (CSR spans and the
+// item-membership bitset filled), after which the store is safe for
+// concurrent readers.
 func (m *miner) count(c *cell) {
 	m.stats.DBScans++
 	m.stats.TrieNodes += int64(c.store.NodeCount())
@@ -82,8 +82,12 @@ const scanProbeWeight = 2.5
 // pay up to S−1 extra words per candidate AND (and per item at build time);
 // the distinct-transaction count is likewise the per-shard sum, which
 // already reflects the dedup lost at shard boundaries.
+//
+// The build term follows the run's logical build flags (m.bmBuilt), not the
+// engine cache: a warm run prices — and therefore chooses — exactly as the
+// cold run did, which is what keeps reused-engine output byte-identical.
 func (m *miner) chooseStrategy(c *cell) CountStrategy {
-	view := m.views[c.h]
+	view := m.ds.views[c.h]
 	items := len(view.Support)
 	if items == 0 {
 		return CountScan
@@ -99,14 +103,12 @@ func (m *miner) chooseStrategy(c *cell) CountStrategy {
 	scanCost := scanProbeWeight * float64(distinct) * float64(itemset.Binomial(int(avgWidth+1), c.k))
 	tidCost := float64(c.candidates) * float64(c.k) * float64(volume) / float64(items)
 	words := float64(bitmap.Words(distinct))
-	built := m.bitmaps[c.h] != nil
 	if m.sharded() {
-		words += float64(len(m.shards) - 1) // per-shard word rounding
-		built = m.shardBM[c.h] != nil
+		words += float64(len(m.ds.shards) - 1) // per-shard word rounding
 	}
 	bitCost := float64(c.candidates) * float64(c.k) * words
-	if !built {
-		bitCost += float64(items) * words // the build pass, paid once
+	if !m.bmBuilt[c.h] {
+		bitCost += float64(items) * words // the build pass, paid once per run
 	}
 	best, cost := CountScan, scanCost
 	if tidCost < cost {
@@ -118,47 +120,57 @@ func (m *miner) chooseStrategy(c *cell) CountStrategy {
 	return best
 }
 
-// scanTxs counts one slice of weighted transactions into counts by trie
+// scanTxs counts the flat arena's transactions [lo, hi) into counts by trie
 // descent: filter the transaction to candidate-relevant items, then walk
 // the items down the trie so only subsets sharing a candidate prefix are
-// ever enumerated. Returns the number of subset probes the descent skipped
+// ever enumerated. The arena is walked front to back, so a block of
+// transactions streams through cache while the trie's CSR slabs stay
+// resident. Returns the number of subset probes the descent skipped
 // relative to a flat C(w,k) enumeration.
-func scanTxs(c *cell, data []txdb.WeightedTx, counts []int64, filtered itemset.Set) (pruned int64) {
+func scanTxs(c *cell, f *flatLevel, lo, hi int, counts []int64, filtered itemset.Set) (pruned int64) {
 	k := c.k
 	st := c.store
-	for _, wt := range data {
-		filtered = st.Filter(wt.Items, filtered[:0])
+	items, starts, weights := f.items, f.starts, f.weights
+	for t := lo; t < hi; t++ {
+		filtered = st.Filter(items[starts[t]:starts[t+1]], filtered[:0])
 		if len(filtered) < k {
 			continue
 		}
-		hits := st.CountTx(filtered, wt.Weight, counts)
+		hits := st.CountTx(filtered, weights[t], counts)
 		pruned += itemset.Binomial(len(filtered), k) - hits
 	}
 	return pruned
 }
 
-// countScanMaterialized counts over the deduplicated level view, fanning the
-// weighted transactions out to cfg.workers() goroutines.
+// scanBlock is the transaction-block granularity of parallel scan
+// splitting: worker ranges align to it, so no two workers interleave inside
+// one block of the arena.
+const scanBlock = 512
+
+// countScanMaterialized counts over the level's flat transaction arena,
+// fanning block-aligned ranges out to cfg.workers() goroutines.
 func (m *miner) countScanMaterialized(c *cell) {
-	data := m.distinct[c.h]
+	f := &m.ds.flat[c.h]
+	n := f.n()
 	workers := m.cfg.workers()
-	if workers > len(data) {
-		workers = len(data)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
 		var filtered itemset.Set
-		m.stats.ProbesPruned += scanTxs(c, data, c.store.Sup, filtered)
+		m.stats.ProbesPruned += scanTxs(c, f, 0, n, c.store.Sup, filtered)
 		return
 	}
-	chunk := (len(data) + workers - 1) / workers
-	results := make([][]int64, workers)
+	chunk := (n + workers - 1) / workers
+	chunk = (chunk + scanBlock - 1) / scanBlock * scanBlock
+	partials := m.sc.partialsFor(workers, c.store.Len())
 	pruned := make([]int64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > len(data) {
-			hi = len(data)
+		if hi > n {
+			hi = n
 		}
 		if lo >= hi {
 			continue
@@ -166,18 +178,13 @@ func (m *miner) countScanMaterialized(c *cell) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			counts := make([]int64, c.store.Len())
 			var filtered itemset.Set
-			pruned[w] = scanTxs(c, data[lo:hi], counts, filtered)
-			results[w] = counts
+			pruned[w] = scanTxs(c, f, lo, hi, partials[w], filtered)
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	sup := c.store.Sup
-	for _, counts := range results {
-		if counts == nil {
-			continue
-		}
+	for _, counts := range partials {
 		for i, n := range counts {
 			sup[i] += n
 		}
@@ -197,7 +204,10 @@ func (m *miner) countScanStreaming(c *cell) {
 	counts := st.Sup
 	var filtered itemset.Set
 	var pruned int64
-	buf := make([]itemset.ID, 0, 32)
+	if cap(m.sc.genBuf) < 32 {
+		m.sc.genBuf = make([]itemset.ID, 0, 32)
+	}
+	buf := m.sc.genBuf
 	err := m.src.Scan(func(tx itemset.Set) error {
 		buf = buf[:0]
 		for _, id := range tx {
@@ -205,7 +215,7 @@ func (m *miner) countScanStreaming(c *cell) {
 				buf = append(buf, a)
 			}
 		}
-		g := itemset.New(buf...)
+		g := canonInto(buf)
 		filtered = st.Filter(g, filtered[:0])
 		if len(filtered) < c.k {
 			return nil
@@ -214,6 +224,7 @@ func (m *miner) countScanStreaming(c *cell) {
 		pruned += itemset.Binomial(len(filtered), c.k) - hits
 		return nil
 	})
+	m.sc.genBuf = buf
 	if err != nil {
 		m.scanErr = err
 	}
@@ -235,6 +246,7 @@ func (m *miner) countTID(c *cell) {
 	if workers < 1 {
 		workers = 1
 	}
+	scratches := m.sc.tidScratchFor(workers)
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -247,21 +259,20 @@ func (m *miner) countTID(c *cell) {
 			continue
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			var scratch tidScratch
 			for e := lo; e < hi; e++ {
-				st.Sup[e] = intersectSupport(st.Items(int32(e)), lists, &scratch)
+				st.Sup[e] = intersectSupport(st.Items(int32(e)), lists, &scratches[w])
 			}
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
 }
 
 // countBitmap counts by AND-ing per-item bit vectors over the distinct
 // weighted transactions of the level view, fanning candidate ranges out to
-// cfg.workers() goroutines. The per-level index is built lazily on first use
-// and cached on the miner, like the tid lists.
+// cfg.workers() goroutines. The per-level index comes from the engine's
+// dataset cache, built on first use by any run.
 func (m *miner) countBitmap(c *cell) {
 	ix := m.bitmapIndex(c.h)
 	st := c.store
@@ -275,6 +286,7 @@ func (m *miner) countBitmap(c *cell) {
 	}
 	chunk := (n + workers - 1) / workers
 	ops := make([]int64, workers)
+	scratches := m.sc.vecsFor(workers, c.k)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -288,7 +300,7 @@ func (m *miner) countBitmap(c *cell) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			scratch := make([]bitmap.Vector, c.k)
+			scratch := scratches[w]
 			var local int64
 			for e := lo; e < hi; e++ {
 				sup, n := ix.SupportInto(st.Items(int32(e)), scratch)
@@ -304,37 +316,49 @@ func (m *miner) countBitmap(c *cell) {
 	}
 }
 
-// bitmapIndex lazily builds the per-item bit vectors of a level over its
-// deduplicated transactions.
+// bitmapIndex returns the per-item bit vectors of a level, built over its
+// deduplicated transactions on first use by any run of the engine and
+// cached in the dataset state. Stats.BitmapBuilds follows the run's logical
+// flags: the first use per level per run counts as a build, cached or not.
 func (m *miner) bitmapIndex(h int) *bitmap.Index {
-	if m.bitmaps[h] != nil {
-		return m.bitmaps[h]
+	ds := m.ds
+	ds.mu.Lock()
+	ix := ds.bitmaps[h]
+	if ix == nil {
+		data := ds.distinct[h]
+		txs := make([]itemset.Set, len(data))
+		weights := make([]int64, len(data))
+		for i, wt := range data {
+			txs[i] = wt.Items
+			weights[i] = wt.Weight
+		}
+		ix = bitmap.Build(txs, weights)
+		ds.bitmaps[h] = ix
 	}
-	data := m.distinct[h]
-	txs := make([]itemset.Set, len(data))
-	weights := make([]int64, len(data))
-	for i, wt := range data {
-		txs[i] = wt.Items
-		weights[i] = wt.Weight
+	ds.mu.Unlock()
+	if !m.bmBuilt[h] {
+		m.bmBuilt[h] = true
+		m.stats.BitmapBuilds++
 	}
-	ix := bitmap.Build(txs, weights)
-	m.bitmaps[h] = ix
-	m.stats.BitmapBuilds++
 	return ix
 }
 
-// tidLists lazily builds the per-item transaction-ID lists of a level.
+// tidLists returns the per-item transaction-ID lists of a level, built on
+// first use by any run of the engine and cached in the dataset state.
 func (m *miner) tidLists(h int) map[itemset.ID][]int32 {
-	if m.tid[h] != nil {
-		return m.tid[h]
+	ds := m.ds
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.tid[h] != nil {
+		return ds.tid[h]
 	}
 	lists := make(map[itemset.ID][]int32)
-	for ti, tx := range m.views[h].Tx {
+	for ti, tx := range ds.views[h].Tx {
 		for _, id := range tx {
 			lists[id] = append(lists[id], int32(ti))
 		}
 	}
-	m.tid[h] = lists
+	ds.tid[h] = lists
 	return lists
 }
 

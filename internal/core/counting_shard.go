@@ -5,6 +5,7 @@ import (
 
 	"github.com/flipper-mining/flipper/internal/bitmap"
 	"github.com/flipper-mining/flipper/internal/itemset"
+	"github.com/flipper-mining/flipper/internal/taxonomy"
 	"github.com/flipper-mining/flipper/internal/txdb"
 )
 
@@ -25,45 +26,44 @@ import (
 //
 // The payoffs over range fan-out: per-shard level views and indexes are
 // built concurrently at init; each worker's working set is its shards'
-// views and indexes rather than the whole level (cache residency); and with
-// a txdb.ShardedSource over per-shard basket files, streaming counting
-// scans the files in parallel — out-of-core mining of databases larger
-// than RAM.
+// flat arenas and indexes rather than the whole level (cache residency);
+// and with a txdb.ShardedSource over per-shard basket files, streaming
+// counting scans the files in parallel — out-of-core mining of databases
+// larger than RAM.
 
-// resolveShards decides the run's shard layout. A ShardedSource brings its
-// own shards (its on-disk partitioning is authoritative); otherwise
-// Config.Shards > 1 partitions an in-memory database in place. Any other
+// resolveShardSources decides a run's shard layout. A ShardedSource brings
+// its own shards (its on-disk partitioning is authoritative); otherwise
+// cfgShards > 1 partitions an in-memory database in place. Any other
 // source — e.g. a single FileSource, which cannot be split without
 // rewriting the file — runs unsharded regardless of Config.Shards.
-func (m *miner) resolveShards() {
-	if ss, ok := m.src.(*txdb.ShardedSource); ok {
+func resolveShardSources(src txdb.Source, cfgShards int) []txdb.Source {
+	if ss, ok := src.(*txdb.ShardedSource); ok {
 		if ss.NumShards() > 1 {
-			m.shards = ss.Shards()
+			return ss.Shards()
 		}
-		return
+		return nil
 	}
-	if m.cfg.Shards <= 1 {
-		return
+	if cfgShards <= 1 {
+		return nil
 	}
-	if db, ok := m.src.(*txdb.DB); ok {
-		parts := txdb.Partition(db, m.cfg.Shards)
+	if db, ok := src.(*txdb.DB); ok {
+		parts := txdb.Partition(db, cfgShards)
 		if len(parts) <= 1 {
-			return
+			return nil
 		}
-		m.shards = make([]txdb.Source, len(parts))
+		shards := make([]txdb.Source, len(parts))
 		for i, p := range parts {
-			m.shards[i] = p
+			shards[i] = p
 		}
+		return shards
 	}
+	return nil
 }
 
-// sharded reports whether counting fans out over shards.
-func (m *miner) sharded() bool { return len(m.shards) > 1 }
-
-// shardWorkers bounds shard fan-out at the configured parallelism: at most
+// boundWorkers bounds shard fan-out at the configured parallelism: at most
 // cfg.workers() goroutines run however many shards there are.
-func (m *miner) shardWorkers(n int) int {
-	w := m.cfg.workers()
+func boundWorkers(cfg *Config, n int) int {
+	w := cfg.workers()
 	if w > n {
 		w = n
 	}
@@ -73,14 +73,7 @@ func (m *miner) shardWorkers(n int) int {
 	return w
 }
 
-// makePartials allocates one partial support vector of length n per worker.
-func makePartials(workers, n int) [][]int64 {
-	out := make([][]int64, workers)
-	for w := range out {
-		out[w] = make([]int64, n)
-	}
-	return out
-}
+func (m *miner) shardWorkers(n int) int { return boundWorkers(&m.cfg, n) }
 
 // distinctCount returns how many deduplicated weighted transactions back
 // the level — the database-size input of the CountAuto cost model. Sharded
@@ -88,11 +81,11 @@ func makePartials(workers, n int) [][]int64 {
 // the global dedup when identical transactions straddle a shard boundary).
 func (m *miner) distinctCount(h int) int {
 	if !m.sharded() {
-		return len(m.distinct[h])
+		return m.ds.flat[h].n()
 	}
 	n := 0
-	for _, d := range m.shardDist[h] {
-		n += len(d)
+	for s := range m.ds.shardFlat[h] {
+		n += m.ds.shardFlat[h][s].n()
 	}
 	return n
 }
@@ -103,14 +96,12 @@ func (m *miner) distinctCount(h int) int {
 // shards locally; the locals then merge. Integer sums and maxima make the
 // merged aggregates independent of worker assignment and equal to the
 // single-pass values.
-func (m *miner) streamSingleSupportsShards() error {
-	H := m.height
+func (ds *dataState) streamSingleSupportsShards(tax *taxonomy.Tree, H, workers int) error {
 	type agg struct {
 		sup    []map[itemset.ID]int64
 		widths []int
 		err    error
 	}
-	workers := m.shardWorkers(len(m.shards))
 	aggs := make([]agg, workers)
 	for w := range aggs {
 		aggs[w].sup = make([]map[itemset.ID]int64, H+1)
@@ -119,21 +110,21 @@ func (m *miner) streamSingleSupportsShards() error {
 			aggs[w].sup[h] = make(map[itemset.ID]int64)
 		}
 	}
-	txdb.ForEachShard(workers, len(m.shards), func(w, s int) {
+	txdb.ForEachShard(workers, len(ds.shards), func(w, s int) {
 		a := &aggs[w]
 		if a.err != nil {
 			return
 		}
 		buf := make([]itemset.ID, 0, 32)
-		a.err = m.shards[s].Scan(func(tx itemset.Set) error {
+		a.err = ds.shards[s].Scan(func(tx itemset.Set) error {
 			for h := 1; h <= H; h++ {
 				buf = buf[:0]
 				for _, id := range tx {
-					if anc, ok := m.tax.AncestorAt(id, h); ok {
+					if anc, ok := tax.AncestorAt(id, h); ok {
 						buf = append(buf, anc)
 					}
 				}
-				g := itemset.New(buf...)
+				g := canonInto(buf)
 				if len(g) > a.widths[h] {
 					a.widths[h] = len(g)
 				}
@@ -145,18 +136,18 @@ func (m *miner) streamSingleSupportsShards() error {
 		})
 	})
 	for h := 1; h <= H; h++ {
-		m.sup1[h] = make(map[itemset.ID]int64)
+		ds.sup1[h] = make(map[itemset.ID]int64)
 	}
 	for w := range aggs {
 		if aggs[w].err != nil {
 			return aggs[w].err
 		}
 		for h := 1; h <= H; h++ {
-			if aggs[w].widths[h] > m.widths[h] {
-				m.widths[h] = aggs[w].widths[h]
+			if aggs[w].widths[h] > ds.widths[h] {
+				ds.widths[h] = aggs[w].widths[h]
 			}
 			for id, n := range aggs[w].sup[h] {
-				m.sup1[h][id] += n
+				ds.sup1[h][id] += n
 			}
 		}
 	}
@@ -178,15 +169,17 @@ func (m *miner) mergePartials(c *cell, partials [][]int64) {
 }
 
 // countScanShards is the sharded scan backend over materialized views: each
-// pool worker walks its shards' deduplicated transactions down the cell's
-// trie into its private scratch vector.
+// pool worker walks its shards' flat transaction arenas down the cell's
+// trie into its private scratch vector — one contiguous arena per shard, so
+// the shard's transaction block stays cache-resident against the trie.
 func (m *miner) countScanShards(c *cell) {
-	dist := m.shardDist[c.h]
-	workers := m.shardWorkers(len(dist))
-	partials := makePartials(workers, c.store.Len())
+	flats := m.ds.shardFlat[c.h]
+	workers := m.shardWorkers(len(flats))
+	partials := m.sc.partialsFor(workers, c.store.Len())
 	pruned := make([]int64, workers)
-	txdb.ForEachShard(workers, len(dist), func(w, s int) {
-		pruned[w] += scanTxs(c, dist[s], partials[w], nil)
+	txdb.ForEachShard(workers, len(flats), func(w, s int) {
+		f := &flats[s]
+		pruned[w] += scanTxs(c, f, 0, f.n(), partials[w], nil)
 	})
 	m.mergePartials(c, partials)
 	for _, n := range pruned {
@@ -206,25 +199,25 @@ func (m *miner) countScanStreamingShards(c *cell) {
 		return
 	}
 	st := c.store
-	workers := m.shardWorkers(len(m.shards))
-	partials := makePartials(workers, st.Len())
+	workers := m.shardWorkers(len(m.ds.shards))
+	partials := m.sc.partialsFor(workers, st.Len())
 	pruned := make([]int64, workers)
 	errs := make([]error, workers)
-	txdb.ForEachShard(workers, len(m.shards), func(w, s int) {
+	txdb.ForEachShard(workers, len(m.ds.shards), func(w, s int) {
 		if errs[w] != nil {
 			return
 		}
 		counts := partials[w]
 		var filtered itemset.Set
 		buf := make([]itemset.ID, 0, 32)
-		errs[w] = m.shards[s].Scan(func(tx itemset.Set) error {
+		errs[w] = m.ds.shards[s].Scan(func(tx itemset.Set) error {
 			buf = buf[:0]
 			for _, id := range tx {
 				if a, ok := m.tax.AncestorAt(id, c.h); ok {
 					buf = append(buf, a)
 				}
 			}
-			g := itemset.New(buf...)
+			g := canonInto(buf)
 			filtered = st.Filter(g, filtered[:0])
 			if len(filtered) < c.k {
 				return nil
@@ -255,8 +248,8 @@ func (m *miner) countTIDShards(c *cell) {
 	st := c.store
 	n := st.Len()
 	workers := m.shardWorkers(len(lists))
-	partials := makePartials(workers, n)
-	scratches := make([]tidScratch, workers)
+	partials := m.sc.partialsFor(workers, n)
+	scratches := m.sc.tidScratchFor(workers)
 	txdb.ForEachShard(workers, len(lists), func(w, s int) {
 		for e := 0; e < n; e++ {
 			partials[w][e] += intersectSupport(st.Items(int32(e)), lists[s], &scratches[w])
@@ -274,12 +267,9 @@ func (m *miner) countBitmapShards(c *cell) {
 	st := c.store
 	n := st.Len()
 	workers := m.shardWorkers(len(ixs))
-	partials := makePartials(workers, n)
+	partials := m.sc.partialsFor(workers, n)
 	ops := make([]int64, workers)
-	scratches := make([][]bitmap.Vector, workers)
-	for w := range scratches {
-		scratches[w] = make([]bitmap.Vector, c.k)
-	}
+	scratches := m.sc.vecsFor(workers, c.k)
 	txdb.ForEachShard(workers, len(ixs), func(w, s int) {
 		for e := 0; e < n; e++ {
 			sup, wops := ixs[s].SupportInto(st.Items(int32(e)), scratches[w])
@@ -293,14 +283,17 @@ func (m *miner) countBitmapShards(c *cell) {
 	}
 }
 
-// shardTIDLists lazily builds each shard's per-item transaction-ID lists
-// for a level — a bounded worker pool over the shards, results cached on
-// the miner (like the unsharded lists).
+// shardTIDLists returns each shard's per-item transaction-ID lists for a
+// level, built on first use by any run of the engine — a bounded worker
+// pool over the shards — and cached in the dataset state.
 func (m *miner) shardTIDLists(h int) []map[itemset.ID][]int32 {
-	if m.shardTID[h] != nil {
-		return m.shardTID[h]
+	ds := m.ds
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.shardTID[h] != nil {
+		return ds.shardTID[h]
 	}
-	views := m.shardLv[h]
+	views := ds.shardLv[h]
 	lists := make([]map[itemset.ID][]int32, len(views))
 	txdb.ForEachShard(m.shardWorkers(len(views)), len(views), func(_, s int) {
 		l := make(map[itemset.ID][]int32)
@@ -311,31 +304,38 @@ func (m *miner) shardTIDLists(h int) []map[itemset.ID][]int32 {
 		}
 		lists[s] = l
 	})
-	m.shardTID[h] = lists
+	ds.shardTID[h] = lists
 	return lists
 }
 
-// shardBitmapIndexes lazily builds each shard's bitmap index over its
-// deduplicated transactions — a bounded worker pool over the shards,
-// results cached on the miner. Every shard build counts toward
-// Stats.BitmapBuilds.
+// shardBitmapIndexes returns each shard's bitmap index over its
+// deduplicated transactions, built on first use by any run of the engine —
+// a bounded worker pool over the shards — and cached in the dataset state.
+// Stats.BitmapBuilds follows the run's logical flags: the first use per
+// level per run counts one build per shard, cached or not.
 func (m *miner) shardBitmapIndexes(h int) []*bitmap.Index {
-	if m.shardBM[h] != nil {
-		return m.shardBM[h]
+	ds := m.ds
+	ds.mu.Lock()
+	ixs := ds.shardBM[h]
+	if ixs == nil {
+		dist := ds.shardDist[h]
+		ixs = make([]*bitmap.Index, len(dist))
+		txdb.ForEachShard(m.shardWorkers(len(dist)), len(dist), func(_, s int) {
+			data := dist[s]
+			txs := make([]itemset.Set, len(data))
+			weights := make([]int64, len(data))
+			for i, wt := range data {
+				txs[i] = wt.Items
+				weights[i] = wt.Weight
+			}
+			ixs[s] = bitmap.Build(txs, weights)
+		})
+		ds.shardBM[h] = ixs
 	}
-	dist := m.shardDist[h]
-	ixs := make([]*bitmap.Index, len(dist))
-	txdb.ForEachShard(m.shardWorkers(len(dist)), len(dist), func(_, s int) {
-		data := dist[s]
-		txs := make([]itemset.Set, len(data))
-		weights := make([]int64, len(data))
-		for i, wt := range data {
-			txs[i] = wt.Items
-			weights[i] = wt.Weight
-		}
-		ixs[s] = bitmap.Build(txs, weights)
-	})
-	m.shardBM[h] = ixs
-	m.stats.BitmapBuilds += int64(len(ixs))
+	ds.mu.Unlock()
+	if !m.bmBuilt[h] {
+		m.bmBuilt[h] = true
+		m.stats.BitmapBuilds += int64(len(ixs))
+	}
 	return ixs
 }

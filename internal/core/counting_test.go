@@ -92,8 +92,8 @@ func TestScanTxsTrieDescent(t *testing.T) {
 	// Transaction {1,2,3,99}: 99 is filtered out by the candidate universe;
 	// both pairs match with weight 5. Of the C(3,2)=3 remaining subsets,
 	// {1,3} has no candidate and is pruned by the descent.
-	data := []txdb.WeightedTx{{Items: itemset.New(1, 2, 3, 99), Weight: 5}}
-	pruned := scanTxs(c, data, counts, nil)
+	data := flatten([]txdb.WeightedTx{{Items: itemset.New(1, 2, 3, 99), Weight: 5}})
+	pruned := scanTxs(c, &data, 0, data.n(), counts, nil)
 	if pruned != 1 {
 		t.Errorf("pruned = %d, want 1", pruned)
 	}
@@ -104,7 +104,8 @@ func TestScanTxsTrieDescent(t *testing.T) {
 	}
 	// Too-narrow transaction contributes nothing.
 	before := append([]int64(nil), counts...)
-	scanTxs(c, []txdb.WeightedTx{{Items: itemset.New(2), Weight: 1}}, counts, nil)
+	narrow := flatten([]txdb.WeightedTx{{Items: itemset.New(2), Weight: 1}})
+	scanTxs(c, &narrow, 0, narrow.n(), counts, nil)
 	for i := range counts {
 		if counts[i] != before[i] {
 			t.Error("narrow transaction changed counts")

@@ -24,6 +24,14 @@ type EpsilonPoint struct {
 // below cfg.Gamma) and reports the resulting pattern counts, descending ε
 // first — exactly the paper's manual workflow.
 func EpsilonSweep(src txdb.Source, tree *taxonomy.Tree, cfg Config, epsilons []float64) ([]EpsilonPoint, error) {
+	return NewEngine(src, tree).EpsilonSweep(cfg, epsilons)
+}
+
+// EpsilonSweep runs the sweep on the engine, so every step after the first
+// reuses the materialized views, indexes and scratch arenas — the sweep is
+// the workload engine caching was built for, since only thresholds change
+// between runs.
+func (e *Engine) EpsilonSweep(cfg Config, epsilons []float64) ([]EpsilonPoint, error) {
 	if len(epsilons) == 0 {
 		return nil, fmt.Errorf("core: empty epsilon list")
 	}
@@ -33,7 +41,7 @@ func EpsilonSweep(src txdb.Source, tree *taxonomy.Tree, cfg Config, epsilons []f
 	for _, eps := range sorted {
 		c := cfg
 		c.Epsilon = eps
-		res, err := Mine(src, tree, c)
+		res, err := e.Mine(c)
 		if err != nil {
 			return nil, fmt.Errorf("core: sweep at ε=%v: %w", eps, err)
 		}
@@ -51,15 +59,21 @@ func EpsilonSweep(src txdb.Source, tree *taxonomy.Tree, cfg Config, epsilons []f
 // Lowering ε only shrinks the pattern set (fewer itemsets label negative),
 // so the count is monotone in ε and bisection is sound.
 func SuggestEpsilon(src txdb.Source, tree *taxonomy.Tree, cfg Config, target int) (eps float64, res *Result, found bool, err error) {
+	return NewEngine(src, tree).SuggestEpsilon(cfg, target)
+}
+
+// SuggestEpsilon runs the bisection on the engine; like EpsilonSweep it
+// pays the view and index builds once across all probe runs.
+func (e *Engine) SuggestEpsilon(cfg Config, target int) (eps float64, res *Result, found bool, err error) {
 	if target < 1 {
 		return 0, nil, false, fmt.Errorf("core: target %d must be ≥ 1", target)
 	}
 	const steps = 12
 	lo, hi := 0.0, cfg.Gamma*0.999 // ε must stay strictly below γ
-	mine := func(e float64) (*Result, error) {
+	mine := func(epsVal float64) (*Result, error) {
 		c := cfg
-		c.Epsilon = e
-		return Mine(src, tree, c)
+		c.Epsilon = epsVal
+		return e.Mine(c)
 	}
 	best, err := mine(hi)
 	if err != nil {

@@ -296,7 +296,7 @@ func (q *Queue) run(j *Job) {
 	case JobMine:
 		q.minesRun.Add(1)
 		var res *core.Result
-		res, err = core.Mine(j.ds.Src, j.ds.Tree, j.Config)
+		res, err = j.ds.Engine().Mine(j.Config)
 		if err == nil {
 			rj := res.JSON(j.ds.Tree)
 			stats = &rj.Stats
@@ -306,7 +306,7 @@ func (q *Queue) run(j *Job) {
 	case JobSweep:
 		q.sweepsRun.Add(1)
 		var points []core.EpsilonPoint
-		points, err = core.EpsilonSweep(j.ds.Src, j.ds.Tree, j.Config, j.Epsilons)
+		points, err = j.ds.Engine().EpsilonSweep(j.Config, j.Epsilons)
 		if err == nil {
 			patterns = len(points)
 			payload, err = json.Marshal(sweepResult{Points: points})

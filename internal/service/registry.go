@@ -39,6 +39,19 @@ type Dataset struct {
 	Src txdb.Source
 	// Stream records whether Src re-reads disk on every scan.
 	Stream bool
+
+	engOnce sync.Once
+	eng     *core.Engine
+}
+
+// Engine returns the dataset's persistent mining engine, created on first
+// use. All jobs over the dataset share it, so materialized level views,
+// bitmap/tid indexes and counting scratch built for one job are reused by
+// the next — repeat mines over a registered dataset pay data preparation
+// once, not per request. The engine is safe for concurrent jobs.
+func (d *Dataset) Engine() *core.Engine {
+	d.engOnce.Do(func() { d.eng = core.NewEngine(d.Src, d.Tree) })
+	return d.eng
 }
 
 // Shards returns how many transaction shards the dataset's source fans
