@@ -7,7 +7,7 @@
 //	        -gamma 0.3 -epsilon 0.1 -minsup 0.01,0.001,0.0005,0.0001 \
 //	        [-measure kulczynski] [-pruning full] [-strategy scan|tidlist|bitmap|auto] \
 //	        [-shards 0] [-topk 0] [-target-patterns 0] [-stream] [-stats] \
-//	        [-json] [-json-api] [-csv patterns.csv]
+//	        [-timeout 0] [-json] [-json-api] [-csv patterns.csv]
 //
 // The taxonomy file holds one "child<TAB>parent" edge per line; the basket
 // file one transaction per line with comma-separated item names. -db also
@@ -29,12 +29,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	flipper "github.com/flipper-mining/flipper"
 )
@@ -54,6 +59,7 @@ func main() {
 		target   = flag.Int("target-patterns", 0, "auto-tune ε: search for the most selective ε yielding at least this many patterns")
 		maxK     = flag.Int("maxk", 0, "cap the itemset size (0 = data-bound)")
 		stream   = flag.Bool("stream", false, "disk-resident mode: re-read the basket file on every pass")
+		timeout  = flag.Duration("timeout", 0, "abort the mine after this long, e.g. 30s or 5m (0 = no deadline)")
 		extend   = flag.Bool("extend", true, "leaf-copy extend unbalanced taxonomies (paper Fig. 3 variant B)")
 		stats    = flag.Bool("stats", false, "print run statistics to stderr")
 		asJSON   = flag.Bool("json", false, "emit patterns as JSON")
@@ -113,11 +119,21 @@ func main() {
 		}
 	}
 
+	// Ctrl-C / SIGTERM cancel the mine through the engine's checkpoint
+	// polling; -timeout adds a deadline on top.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var res *flipper.Result
 	if *target > 0 {
-		eps, r, found, err := flipper.SuggestEpsilon(src, tree, cfg, *target)
+		eps, r, found, err := flipper.SuggestEpsilonContext(ctx, src, tree, cfg, *target)
 		if err != nil {
-			fail(err)
+			failMine(err, *timeout)
 		}
 		if !found {
 			fmt.Fprintf(os.Stderr, "flipper: even ε just below γ yields only %d pattern(s); reporting those\n", len(r.Patterns))
@@ -125,9 +141,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flipper: auto-tuned ε = %.4f\n", eps)
 		res = r
 	} else {
-		r, err := flipper.Mine(src, tree, cfg)
+		r, err := flipper.MineContext(ctx, src, tree, cfg)
 		if err != nil {
-			fail(err)
+			failMine(err, *timeout)
 		}
 		res = r
 	}
@@ -214,4 +230,19 @@ func parseMinsup(s string) ([]float64, error) {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "flipper:", err)
 	os.Exit(1)
+}
+
+// failMine reports a mining error, translating the two cancellation causes
+// into plain messages: exit 124 on deadline (the timeout(1) convention) and
+// 130 on interrupt (128+SIGINT).
+func failMine(err error, timeout time.Duration) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintf(os.Stderr, "flipper: mine aborted: -timeout %s exceeded\n", timeout)
+		os.Exit(124)
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "flipper: mine aborted: interrupted")
+		os.Exit(130)
+	}
+	fail(err)
 }

@@ -6,6 +6,7 @@
 //
 //	flipperd -data DIR [-addr :8080] [-workers 2] [-queue 64] [-cache 128]
 //	         [-history 1000] [-stream] [-debug-addr localhost:6060]
+//	         [-job-timeout 0] [-max-job-timeout 15m]
 //
 // The data directory holds one subdirectory per dataset, each with a
 // taxonomy.tsv (child<TAB>parent edges) and either a baskets.txt (one
@@ -26,11 +27,18 @@
 //
 // API (JSON; see docs/ARCHITECTURE.md):
 //
-//	POST /v1/jobs          {"dataset":"groceries","config":{"epsilon":0.2}}
-//	GET  /v1/jobs/{id}     poll status; result envelope appears when done
-//	GET  /v1/datasets      registered datasets
-//	GET  /v1/healthz       liveness
-//	GET  /v1/stats         cache hit rate, queue depth, per-job stats
+//	POST   /v1/jobs        {"dataset":"groceries","config":{"epsilon":0.2}}
+//	                       optional "timeout_ms" caps the job's run time
+//	GET    /v1/jobs/{id}   poll status; result envelope appears when done
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /v1/datasets    registered datasets
+//	GET    /v1/healthz     liveness
+//	GET    /v1/stats       cache hit rate, queue depth, per-job stats
+//
+// Every job runs under a deadline: the request's timeout_ms if given, else
+// -job-timeout, both clamped by -max-job-timeout (default 15m). Expired or
+// cancelled jobs finish with status "cancelled". On SIGTERM the queue is
+// drained: running jobs complete and are recorded before exit.
 //
 // Identical submissions are served from the cache (or coalesced onto the
 // in-flight job), so re-issued mines and ε-sweeps cost one computation.
@@ -71,6 +79,9 @@ func main() {
 		history = flag.Int("history", 1000, "max completed jobs kept pollable (older ones are pruned)")
 		stream  = flag.Bool("stream", false, "disk-resident mode: re-read basket files on every pass")
 		debug   = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+
+		jobTimeout = flag.Duration("job-timeout", 0, "default per-job deadline applied when a submission has no timeout_ms (0 = cap at -max-job-timeout)")
+		maxTimeout = flag.Duration("max-job-timeout", 0, "hard ceiling on any job's deadline, clamping timeout_ms and -job-timeout (0 = 15m)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -92,29 +103,35 @@ func main() {
 			info.Name, info.Transactions, info.Height, info.Nodes, info.Stream)
 	}
 
+	var debugSrv *http.Server
 	if *debug != "" {
 		// A dedicated mux on a dedicated listener: the profiling surface
 		// never shares an address with the public API, and the default
 		// ServeMux (which net/http/pprof would register on) stays empty.
+		// The server is shut down on the same signal path as the API
+		// listener, so the debug port does not outlive the service.
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *debug, Handler: mux}
 		go func() {
 			log.Printf("flipperd: pprof on http://%s/debug/pprof/", *debug)
-			if err := http.ListenAndServe(*debug, mux); err != nil {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("flipperd: pprof listener: %v", err)
 			}
 		}()
 	}
 
 	srv := service.NewServer(reg, service.Options{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cache,
-		JobHistory: *history,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheSize:     *cache,
+		JobHistory:    *history,
+		JobTimeout:    *jobTimeout,
+		MaxJobTimeout: *maxTimeout,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -130,6 +147,13 @@ func main() {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("flipperd: shutdown: %v", err)
 		}
+		if debugSrv != nil {
+			if err := debugSrv.Shutdown(ctx); err != nil {
+				log.Printf("flipperd: pprof shutdown: %v", err)
+			}
+		}
+		// Close drains in-flight jobs: a mine that finished computing is
+		// always recorded before the workers exit.
 		srv.Close()
 	}()
 

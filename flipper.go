@@ -29,6 +29,7 @@
 package flipper
 
 import (
+	"context"
 	"io"
 
 	"github.com/flipper-mining/flipper/internal/core"
@@ -148,6 +149,15 @@ func Mine(src Source, tree *Taxonomy, cfg Config) (*Result, error) {
 	return core.Mine(src, tree, cfg)
 }
 
+// MineContext is Mine under a context: the run polls ctx at cheap
+// checkpoints (between candidate blocks, transaction blocks and table
+// cells) and aborts with an error wrapping ctx.Err() — typically within
+// well under 100ms of cancellation even on dense workloads. A cancelled
+// run returns no partial results.
+func MineContext(ctx context.Context, src Source, tree *Taxonomy, cfg Config) (*Result, error) {
+	return core.MineContext(ctx, src, tree, cfg)
+}
+
 // Engine is a reusable miner bound to one dataset. Materialized level
 // views, bitmap and tid-list indexes, and counting scratch built for one
 // Mine call are reused by subsequent calls with compatible configurations,
@@ -222,11 +232,23 @@ func EpsilonSweep(src Source, tree *Taxonomy, cfg Config, epsilons []float64) ([
 	return core.EpsilonSweep(src, tree, cfg, epsilons)
 }
 
+// EpsilonSweepContext is EpsilonSweep under a context; the sweep aborts
+// between and within steps when ctx is done.
+func EpsilonSweepContext(ctx context.Context, src Source, tree *Taxonomy, cfg Config, epsilons []float64) ([]EpsilonPoint, error) {
+	return core.EpsilonSweepContext(ctx, src, tree, cfg, epsilons)
+}
+
 // SuggestEpsilon bisects for the most selective ε that still yields at
 // least target flipping patterns; found is false when even ε just below γ
 // cannot reach the target.
 func SuggestEpsilon(src Source, tree *Taxonomy, cfg Config, target int) (eps float64, res *Result, found bool, err error) {
 	return core.SuggestEpsilon(src, tree, cfg, target)
+}
+
+// SuggestEpsilonContext is SuggestEpsilon under a context; the bisection
+// aborts between and within probe runs when ctx is done.
+func SuggestEpsilonContext(ctx context.Context, src Source, tree *Taxonomy, cfg Config, target int) (eps float64, res *Result, found bool, err error) {
+	return core.SuggestEpsilonContext(ctx, src, tree, cfg, target)
 }
 
 // ParseMeasure resolves a measure name ("kulczynski", "cosine",

@@ -22,6 +22,9 @@ func (m *miner) mineBasic() []Pattern {
 			kMax = m.cfg.MaxK
 		}
 		for k := 2; k <= kMax; k++ {
+			if m.cancelled() {
+				return nil
+			}
 			c := m.basicCell(h, k)
 			m.finishBasicCell(c)
 			m.rows[h][k] = c
@@ -60,6 +63,9 @@ func (m *miner) basicCell(h, k int) *cell {
 	sets := prev.frequentSets() // lexicographic, so the join can break early
 	scratch := make(itemset.Set, k-1)
 	for i := 0; i < len(sets); i++ {
+		if i&cancelCheckMask == 0 && m.cancelled() {
+			return c
+		}
 		for j := i + 1; j < len(sets); j++ {
 			joined, ok := itemset.Join(sets[i], sets[j])
 			if !ok {

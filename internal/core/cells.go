@@ -31,6 +31,9 @@ func (m *miner) row1Cell(k int) *cell {
 	sets := prev.frequentSets()
 	scratch := make(itemset.Set, k-1)
 	for i := 0; i < len(sets); i++ {
+		if i&cancelCheckMask == 0 && m.cancelled() {
+			return c
+		}
 		for j := i + 1; j < len(sets); j++ {
 			joined, ok := itemset.Join(sets[i], sets[j])
 			if !ok {
@@ -89,7 +92,18 @@ func (m *miner) childCell(h, k int) *cell {
 	combo := make([]itemset.ID, k)
 	cand := m.sc.candFor(k)
 	scratch := make(itemset.Set, k-1)
+	cancelledRun := false
 	parentCell.store.Walk(func(pe int32, pItems itemset.Set) {
+		// Per-parent cancellation poll; a cancelled run stops expanding and
+		// lets the caller unwind (partial candidates never escape — Mine
+		// returns the context error, not a result).
+		if cancelledRun {
+			return
+		}
+		if pe&int32(cancelCheckMask) == 0 && m.cancelled() {
+			cancelledRun = true
+			return
+		}
 		pm := &parentCell.meta[pe]
 		if !pm.alive {
 			return

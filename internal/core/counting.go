@@ -127,7 +127,7 @@ func (m *miner) chooseStrategy(c *cell) CountStrategy {
 // transactions streams through cache while the trie's CSR slabs stay
 // resident. Returns the number of subset probes the descent skipped
 // relative to a flat C(w,k) enumeration.
-func scanTxs(c *cell, f *flatLevel, lo, hi int, counts []int64, filtered itemset.Set) (pruned int64) {
+func scanTxs(c *cell, f *flatLevel, lo, hi int, counts []int64, filtered itemset.Set) (pruned int64, scratch itemset.Set) {
 	k := c.k
 	st := c.store
 	items, starts, weights := f.items, f.starts, f.weights
@@ -139,8 +139,36 @@ func scanTxs(c *cell, f *flatLevel, lo, hi int, counts []int64, filtered itemset
 		hits := st.CountTx(filtered, weights[t], counts)
 		pruned += itemset.Binomial(len(filtered), k) - hits
 	}
+	return pruned, filtered
+}
+
+// scanTxsCheckpointed walks [lo, hi) through scanTxs one scanBlock at a
+// time, polling the run's cancellation channel between blocks — the scan
+// kernel itself stays checkpoint-free, so a cancelled run abandons the pass
+// within one block of work while the hot loop is untouched.
+func scanTxsCheckpointed(c *cell, f *flatLevel, lo, hi int, counts []int64, done <-chan struct{}) (pruned int64) {
+	var filtered itemset.Set
+	for lo < hi {
+		if canceled(done) {
+			return pruned
+		}
+		end := lo + scanBlock
+		if end > hi {
+			end = hi
+		}
+		var p int64
+		p, filtered = scanTxs(c, f, lo, end, counts, filtered)
+		pruned += p
+		lo = end
+	}
 	return pruned
 }
+
+// cancelCheckMask sets the granularity of per-candidate cancellation polls
+// in the tid-list and bitmap backends: one poll every 256 candidates costs
+// one AND+branch per candidate against work that is orders of magnitude
+// larger (a k-way list intersection or k vector ANDs).
+const cancelCheckMask = 255
 
 // scanBlock is the transaction-block granularity of parallel scan
 // splitting: worker ranges align to it, so no two workers interleave inside
@@ -157,8 +185,7 @@ func (m *miner) countScanMaterialized(c *cell) {
 		workers = n
 	}
 	if workers <= 1 {
-		var filtered itemset.Set
-		m.stats.ProbesPruned += scanTxs(c, f, 0, n, c.store.Sup, filtered)
+		m.stats.ProbesPruned += scanTxsCheckpointed(c, f, 0, n, c.store.Sup, m.done)
 		return
 	}
 	chunk := (n + workers - 1) / workers
@@ -178,8 +205,7 @@ func (m *miner) countScanMaterialized(c *cell) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			var filtered itemset.Set
-			pruned[w] = scanTxs(c, f, lo, hi, partials[w], filtered)
+			pruned[w] = scanTxsCheckpointed(c, f, lo, hi, partials[w], m.done)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -208,7 +234,13 @@ func (m *miner) countScanStreaming(c *cell) {
 		m.sc.genBuf = make([]itemset.ID, 0, 32)
 	}
 	buf := m.sc.genBuf
+	var seen int
 	err := m.src.Scan(func(tx itemset.Set) error {
+		// Streaming passes can't chunk the loop, so poll inside the callback
+		// — every 1024 transactions, amortized to a counter increment.
+		if seen++; seen&1023 == 0 && m.cancelled() {
+			return errCancelled
+		}
 		buf = buf[:0]
 		for _, id := range tx {
 			if a, ok := m.tax.AncestorAt(id, c.h); ok {
@@ -262,6 +294,9 @@ func (m *miner) countTID(c *cell) {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			for e := lo; e < hi; e++ {
+				if e&cancelCheckMask == 0 && m.cancelled() {
+					return
+				}
 				st.Sup[e] = intersectSupport(st.Items(int32(e)), lists, &scratches[w])
 			}
 		}(w, lo, hi)
@@ -303,6 +338,9 @@ func (m *miner) countBitmap(c *cell) {
 			scratch := scratches[w]
 			var local int64
 			for e := lo; e < hi; e++ {
+				if e&cancelCheckMask == 0 && m.cancelled() {
+					break
+				}
 				sup, n := ix.SupportInto(st.Items(int32(e)), scratch)
 				st.Sup[e] = sup
 				local += n

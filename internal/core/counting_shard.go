@@ -179,7 +179,7 @@ func (m *miner) countScanShards(c *cell) {
 	pruned := make([]int64, workers)
 	txdb.ForEachShard(workers, len(flats), func(w, s int) {
 		f := &flats[s]
-		pruned[w] += scanTxs(c, f, 0, f.n(), partials[w], nil)
+		pruned[w] += scanTxsCheckpointed(c, f, 0, f.n(), partials[w], m.done)
 	})
 	m.mergePartials(c, partials)
 	for _, n := range pruned {
@@ -209,8 +209,12 @@ func (m *miner) countScanStreamingShards(c *cell) {
 		}
 		counts := partials[w]
 		var filtered itemset.Set
+		var seen int
 		buf := make([]itemset.ID, 0, 32)
 		errs[w] = m.ds.shards[s].Scan(func(tx itemset.Set) error {
+			if seen++; seen&1023 == 0 && m.cancelled() {
+				return errCancelled
+			}
 			buf = buf[:0]
 			for _, id := range tx {
 				if a, ok := m.tax.AncestorAt(id, c.h); ok {
@@ -252,6 +256,9 @@ func (m *miner) countTIDShards(c *cell) {
 	scratches := m.sc.tidScratchFor(workers)
 	txdb.ForEachShard(workers, len(lists), func(w, s int) {
 		for e := 0; e < n; e++ {
+			if e&cancelCheckMask == 0 && m.cancelled() {
+				return
+			}
 			partials[w][e] += intersectSupport(st.Items(int32(e)), lists[s], &scratches[w])
 		}
 	})
@@ -272,6 +279,9 @@ func (m *miner) countBitmapShards(c *cell) {
 	scratches := m.sc.vecsFor(workers, c.k)
 	txdb.ForEachShard(workers, len(ixs), func(w, s int) {
 		for e := 0; e < n; e++ {
+			if e&cancelCheckMask == 0 && m.cancelled() {
+				return
+			}
 			sup, wops := ixs[s].SupportInto(st.Items(int32(e)), scratches[w])
 			partials[w][e] += sup
 			ops[w] += wops

@@ -93,7 +93,7 @@ func TestScanTxsTrieDescent(t *testing.T) {
 	// both pairs match with weight 5. Of the C(3,2)=3 remaining subsets,
 	// {1,3} has no candidate and is pruned by the descent.
 	data := flatten([]txdb.WeightedTx{{Items: itemset.New(1, 2, 3, 99), Weight: 5}})
-	pruned := scanTxs(c, &data, 0, data.n(), counts, nil)
+	pruned, _ := scanTxs(c, &data, 0, data.n(), counts, nil)
 	if pruned != 1 {
 		t.Errorf("pruned = %d, want 1", pruned)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -462,6 +463,13 @@ type miner struct {
 	stats Stats
 	maxK  int
 
+	// done is the run context's cancellation channel (nil when the run is
+	// not cancellable, e.g. plain Mine). The mining loops poll it between
+	// cells and the counting backends poll it at block granularity, so a
+	// cancelled run unwinds within a bounded amount of counting work; an
+	// uncancellable run pays one nil check per poll.
+	done <-chan struct{}
+
 	// scanErr records the first streaming counting-pass failure (the
 	// materialized paths surface errors at init instead). Counting cannot
 	// return errors through the mining loop, so the streaming backends park
@@ -484,11 +492,42 @@ func Mine(src txdb.Source, tree *taxonomy.Tree, cfg Config) (*Result, error) {
 	return (&Engine{src: src, tree: tree, data: make(map[dataKey]*dataState)}).Mine(cfg)
 }
 
+// MineContext is Mine with a cancellable context; see Engine.MineContext for
+// the cancellation contract.
+func MineContext(ctx context.Context, src txdb.Source, tree *taxonomy.Tree, cfg Config) (*Result, error) {
+	return (&Engine{src: src, tree: tree, data: make(map[dataKey]*dataState)}).MineContext(ctx, cfg)
+}
+
 // Mine runs one mining pass over the engine's dataset, reusing every cached
 // representation and pooled arena a previous run left behind. Safe for
 // concurrent use; the result is byte-identical to a cold Mine.
 func (e *Engine) Mine(cfg Config) (*Result, error) {
+	return e.MineContext(context.Background(), cfg)
+}
+
+// errCancelled is the sentinel a cancelled run's streaming scan callbacks
+// abort their pass with; MineContext reports ctx.Err() instead, so the
+// sentinel never escapes.
+var errCancelled = fmt.Errorf("core: run cancelled")
+
+// MineContext is Mine under a context: when ctx is cancelled or its deadline
+// passes, the run stops at the next cancellation checkpoint — the mining
+// loops check between cells and every counting backend checks at block
+// granularity inside its worker loops — and returns an error wrapping
+// ctx.Err(). No partial Result is ever returned. Checkpoints are polls of
+// the context's done channel, so an uncancellable context (e.g.
+// context.Background, which plain Mine uses) costs one nil check per poll
+// and the hot counting loops stay unaffected.
+//
+// Dataset-state builds (materialized views, lazily built indexes) are shared
+// across concurrent runs and therefore not cancellable: a run gives up
+// before and after binding, but never aborts a build another run may be
+// waiting on.
+func (e *Engine) MineContext(ctx context.Context, cfg Config) (*Result, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: mine aborted: %w", err)
+	}
 	if e.tree == nil {
 		return nil, fmt.Errorf("core: nil taxonomy")
 	}
@@ -506,6 +545,7 @@ func (e *Engine) Mine(cfg Config) (*Result, error) {
 		height: e.tree.Height(),
 		n:      e.src.Len(),
 		minSup: minSup,
+		done:   ctx.Done(),
 	}
 	if err := m.bind(e); err != nil {
 		return nil, err
@@ -517,6 +557,11 @@ func (e *Engine) Mine(cfg Config) (*Result, error) {
 		patterns = m.mineBasic()
 	} else {
 		patterns = m.mineFlipper()
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancellation wins over any scan abort it caused: the caller sees
+		// the context error, never the internal sentinel.
+		return nil, fmt.Errorf("core: mine aborted: %w", err)
 	}
 	if m.scanErr != nil {
 		return nil, fmt.Errorf("core: streaming counting pass failed: %w", m.scanErr)
@@ -639,12 +684,34 @@ func (m *miner) release() {
 // sharded reports whether counting fans out over shards.
 func (m *miner) sharded() bool { return m.ds.sharded() }
 
+// canceled is the shared cancellation checkpoint: one nil check when the run
+// has no cancellable context, one non-blocking channel poll otherwise.
+// Counting workers call it with the miner's done channel at block
+// granularity, so the per-element hot loops never pay for it.
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// cancelled is the single-goroutine checkpoint of the mining loops.
+func (m *miner) cancelled() bool { return canceled(m.done) }
+
 // mineFlipper is Algorithm 1: zigzag over rows 1–2, then row-wise descent,
 // with flipping gating and (by pruning level) TPG and SIBP.
 func (m *miner) mineFlipper() []Pattern {
 	H := m.height
 	// Rows 1 and 2, zigzag: Q(1,k) then Q(2,k) for growing k.
 	for k := 2; k <= m.maxK; k++ {
+		if m.cancelled() {
+			return nil
+		}
 		c1 := m.row1Cell(k)
 		m.finishCell(c1)
 		m.rows[1][k] = c1
@@ -666,6 +733,9 @@ func (m *miner) mineFlipper() []Pattern {
 	// Rows 3..H, one row at a time.
 	for h := 3; h <= H; h++ {
 		for k := 2; k <= m.maxK; k++ {
+			if m.cancelled() {
+				return nil
+			}
 			parent := m.rows[h-1][k]
 			if parent == nil {
 				break // the row above stopped before this column

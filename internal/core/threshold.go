@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -27,11 +28,24 @@ func EpsilonSweep(src txdb.Source, tree *taxonomy.Tree, cfg Config, epsilons []f
 	return NewEngine(src, tree).EpsilonSweep(cfg, epsilons)
 }
 
+// EpsilonSweepContext is EpsilonSweep under a context: the sweep aborts
+// between (and, through MineContext, inside) steps when ctx is done.
+func EpsilonSweepContext(ctx context.Context, src txdb.Source, tree *taxonomy.Tree, cfg Config, epsilons []float64) ([]EpsilonPoint, error) {
+	return NewEngine(src, tree).EpsilonSweepContext(ctx, cfg, epsilons)
+}
+
 // EpsilonSweep runs the sweep on the engine, so every step after the first
 // reuses the materialized views, indexes and scratch arenas — the sweep is
 // the workload engine caching was built for, since only thresholds change
 // between runs.
 func (e *Engine) EpsilonSweep(cfg Config, epsilons []float64) ([]EpsilonPoint, error) {
+	return e.EpsilonSweepContext(context.Background(), cfg, epsilons)
+}
+
+// EpsilonSweepContext is the cancellable sweep: each step runs under ctx,
+// and the loop itself re-checks ctx between steps so a sweep over many ε
+// values stops at the first cancelled point.
+func (e *Engine) EpsilonSweepContext(ctx context.Context, cfg Config, epsilons []float64) ([]EpsilonPoint, error) {
 	if len(epsilons) == 0 {
 		return nil, fmt.Errorf("core: empty epsilon list")
 	}
@@ -41,7 +55,7 @@ func (e *Engine) EpsilonSweep(cfg Config, epsilons []float64) ([]EpsilonPoint, e
 	for _, eps := range sorted {
 		c := cfg
 		c.Epsilon = eps
-		res, err := e.Mine(c)
+		res, err := e.MineContext(ctx, c)
 		if err != nil {
 			return nil, fmt.Errorf("core: sweep at ε=%v: %w", eps, err)
 		}
@@ -62,9 +76,21 @@ func SuggestEpsilon(src txdb.Source, tree *taxonomy.Tree, cfg Config, target int
 	return NewEngine(src, tree).SuggestEpsilon(cfg, target)
 }
 
+// SuggestEpsilonContext is SuggestEpsilon with cancellation: the bisection
+// aborts between (and inside) probe runs when ctx is done.
+func SuggestEpsilonContext(ctx context.Context, src txdb.Source, tree *taxonomy.Tree, cfg Config, target int) (eps float64, res *Result, found bool, err error) {
+	return NewEngine(src, tree).SuggestEpsilonContext(ctx, cfg, target)
+}
+
 // SuggestEpsilon runs the bisection on the engine; like EpsilonSweep it
 // pays the view and index builds once across all probe runs.
 func (e *Engine) SuggestEpsilon(cfg Config, target int) (eps float64, res *Result, found bool, err error) {
+	return e.SuggestEpsilonContext(context.Background(), cfg, target)
+}
+
+// SuggestEpsilonContext runs the bisection under ctx; each probe mine is
+// cancellable at the engine's usual checkpoints.
+func (e *Engine) SuggestEpsilonContext(ctx context.Context, cfg Config, target int) (eps float64, res *Result, found bool, err error) {
 	if target < 1 {
 		return 0, nil, false, fmt.Errorf("core: target %d must be ≥ 1", target)
 	}
@@ -73,7 +99,7 @@ func (e *Engine) SuggestEpsilon(cfg Config, target int) (eps float64, res *Resul
 	mine := func(epsVal float64) (*Result, error) {
 		c := cfg
 		c.Epsilon = epsVal
-		return e.Mine(c)
+		return e.MineContext(ctx, c)
 	}
 	best, err := mine(hi)
 	if err != nil {

@@ -1,0 +1,156 @@
+// Package faultinject provides deterministic, seed-scheduled I/O fault
+// injection for hardening tests of the mining pipeline. It produces two
+// kinds of trouble:
+//
+//   - Injector wraps raw readers (the txdb.FileSource reader-wrapper hook)
+//     with a seeded schedule of transient read errors, short reads and slow
+//     reads, placed *underneath* txdb's retry layer — the substrate of the
+//     equivalence tests proving that mining over a faulty out-of-core
+//     source is byte-identical to the fault-free run.
+//
+//   - Source wraps any txdb.Source and fails the scan at the Nth
+//     transaction with a caller-chosen (by default non-retryable) error —
+//     for exercising mine-failure paths end to end through the service.
+//
+// Injector state is shared across every reader it wraps and persists
+// across file reopens, so the fault schedule continues where it left off
+// instead of restarting — a retry can therefore hit a second fault, which
+// is exactly the case bounded-retry code must survive.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/flipper-mining/flipper/internal/dict"
+	"github.com/flipper-mining/flipper/internal/itemset"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// TransientError is the injected read failure. It implements
+// Transient() bool, which txdb.IsTransient recognizes, so the retry layer
+// recovers from it; wrap it in a different type to simulate a hard fault.
+type TransientError struct {
+	Read int // ordinal of the faulted read, 1-based
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("faultinject: injected transient error on read %d", e.Read)
+}
+
+// Transient marks the error retryable for txdb.IsTransient.
+func (e *TransientError) Transient() bool { return true }
+
+// Plan schedules an Injector. All triggers are probabilistic with expected
+// period N, drawn from a rand.Rand seeded with Seed — the same seed over
+// the same single-goroutine read sequence replays the same fault schedule.
+type Plan struct {
+	Seed       int64
+	FailEveryN int           // expected reads per injected transient error; 0 disables
+	MaxFaults  int           // cap on injected errors; 0 means unlimited
+	ShortReads bool          // truncate ~half the reads to a random prefix
+	SlowEveryN int           // expected reads per injected Delay sleep; 0 disables
+	Delay      time.Duration // sleep applied on slow reads
+}
+
+// Injector carries a Plan's schedule across readers and reopens. Safe for
+// concurrent use (a mutex guards the schedule), though concurrent readers
+// interleave draws and so trade away exact replayability — use one
+// Injector per shard when determinism matters.
+type Injector struct {
+	mu     sync.Mutex
+	plan   Plan
+	rng    *rand.Rand
+	reads  int
+	faults int
+}
+
+// New builds an Injector for the plan.
+func New(plan Plan) *Injector {
+	return &Injector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Reader wraps r with the injector's schedule. Passes the wrapper test for
+// txdb.ReaderWrapper, so it plugs straight into FileSource.SetReaderWrapper.
+func (in *Injector) Reader(r io.Reader) io.Reader {
+	return &faultReader{in: in, r: r}
+}
+
+// Stats reports how many reads the injector has seen and how many faults
+// it has injected.
+func (in *Injector) Stats() (reads, faults int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.reads, in.faults
+}
+
+type faultReader struct {
+	in *Injector
+	r  io.Reader
+}
+
+func (fr *faultReader) Read(p []byte) (int, error) {
+	in := fr.in
+	in.mu.Lock()
+	in.reads++
+	read := in.reads
+	plan := in.plan
+	fail := plan.FailEveryN > 0 &&
+		(plan.MaxFaults == 0 || in.faults < plan.MaxFaults) &&
+		in.rng.Intn(plan.FailEveryN) == 0
+	if fail {
+		in.faults++
+	}
+	limit := len(p)
+	if plan.ShortReads && len(p) > 1 && in.rng.Intn(2) == 0 {
+		limit = 1 + in.rng.Intn(len(p)-1)
+	}
+	slow := plan.SlowEveryN > 0 && in.rng.Intn(plan.SlowEveryN) == 0
+	in.mu.Unlock()
+
+	if slow && plan.Delay > 0 {
+		time.Sleep(plan.Delay)
+	}
+	if fail {
+		// Fail before consuming: no byte is lost with the error, so a
+		// retry that reopens at the consumer's offset misses nothing.
+		return 0, &TransientError{Read: read}
+	}
+	return fr.r.Read(p[:limit])
+}
+
+// Source wraps a txdb.Source and aborts the scan with Err just before
+// delivering the FailAt-th transaction (1-based). The error surfaces
+// through the miner as a scan failure — it is not seen by the byte-level
+// retry layer, so it exercises the pipeline's hard-failure path.
+type Source struct {
+	Inner  txdb.Source
+	FailAt int
+	Err    error
+}
+
+var _ txdb.Source = (*Source)(nil)
+
+// Scan implements txdb.Source.
+func (s *Source) Scan(fn func(tx itemset.Set) error) error {
+	seen := 0
+	return s.Inner.Scan(func(tx itemset.Set) error {
+		seen++
+		if s.FailAt > 0 && seen == s.FailAt {
+			if s.Err != nil {
+				return s.Err
+			}
+			return fmt.Errorf("faultinject: injected scan failure at transaction %d", seen)
+		}
+		return fn(tx)
+	})
+}
+
+// Len implements txdb.Source.
+func (s *Source) Len() int { return s.Inner.Len() }
+
+// Dict implements txdb.Source.
+func (s *Source) Dict() *dict.Dictionary { return s.Inner.Dict() }

@@ -44,10 +44,17 @@ func newConformanceHandler(t *testing.T) http.Handler {
 // do issues one request against the handler and returns status and body.
 func do(t *testing.T, h http.Handler, method, path string, body []byte) (int, []byte) {
 	t.Helper()
+	rec := doRec(t, h, method, path, body)
+	return rec.Code, rec.Body.Bytes()
+}
+
+// doRec is do exposing the full recorder, for tests that pin headers.
+func doRec(t *testing.T, h http.Handler, method, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
 	req := httptest.NewRequest(method, path, bytes.NewReader(body))
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
-	return rec.Code, rec.Body.Bytes()
+	return rec
 }
 
 // patchFor renders a scenario configuration as the submit-time ConfigPatch
@@ -91,7 +98,7 @@ func waitDone(t *testing.T, h http.Handler, id string) []byte {
 		if err := json.Unmarshal(body, &v); err != nil {
 			t.Fatalf("job envelope: %v", err)
 		}
-		if v.Status == "done" || v.Status == "failed" {
+		if v.Status == "done" || v.Status == "failed" || v.Status == "cancelled" {
 			return body
 		}
 		time.Sleep(2 * time.Millisecond)
@@ -220,7 +227,9 @@ func TestHTTPErrorEnvelopes(t *testing.T) {
 		{"mine_with_epsilons", "POST", "/v1/jobs", `{"dataset": "toy-paper", "epsilons": [0.1]}`},
 		{"sweep_no_epsilons", "POST", "/v1/jobs", `{"dataset": "toy-paper", "kind": "sweep"}`},
 		{"sweep_bad_epsilon", "POST", "/v1/jobs", `{"dataset": "toy-paper", "kind": "sweep", "epsilons": [5]}`},
+		{"bad_timeout", "POST", "/v1/jobs", `{"dataset": "toy-paper", "timeout_ms": -5}`},
 		{"unknown_job", "GET", "/v1/jobs/job-999999", ""},
+		{"cancel_unknown_job", "DELETE", "/v1/jobs/job-999999", ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -289,10 +298,87 @@ func TestHTTPQueueFullEnvelope(t *testing.T) {
 	if code, body := submit(0.15); code != http.StatusAccepted {
 		t.Fatalf("filler job: status %d: %s", code, body)
 	}
-	code, body := submit(0.2)
+	rec := doRec(t, h, "POST", "/v1/jobs", []byte(`{"dataset": "gate", "config": {"epsilon": 0.2}}`))
+	code, body := rec.Code, rec.Body.Bytes()
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("expected 503, got %d: %s", code, body)
 	}
-	wrapped := fmt.Sprintf("{\"status\": %d, \"body\": %s}", code, body)
+	// The Retry-After hint is part of the pinned envelope: load-shedding
+	// without it invites hot-looping clients.
+	wrapped := fmt.Sprintf("{\"status\": %d, \"retry_after\": %q, \"body\": %s}",
+		code, rec.Header().Get("Retry-After"), body)
 	Compare(t, filepath.Join(SuiteDir, "errors", "queue_full.json"), []byte(wrapped))
+}
+
+// TestHTTPCancelEnvelopes pins the DELETE /v1/jobs/{id} choreography on a
+// gated one-worker server: cancelling a queued job (finalized instantly),
+// cancelling the running job (acknowledged, then finalized once the miner
+// observes the context), the final cancelled job envelope, and the 409 for
+// re-cancelling a finished job.
+func TestHTTPCancelEnvelopes(t *testing.T) {
+	sc := Scenarios()[0]
+	tree, _, _ := sc.Load(t)
+	db := txdb.New(tree.Dict())
+	db.AddNames("a11", "b11")
+	gs := &gateSource{
+		DB:      db,
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	reg := service.NewRegistry()
+	if err := reg.Add(&service.Dataset{Name: "gate", Tree: tree, Src: gs}); err != nil {
+		t.Fatal(err)
+	}
+	srv := service.NewServer(reg, service.Options{Workers: 1, QueueDepth: 4})
+	defer srv.Close()
+	h := srv.Handler()
+
+	submit := func(epsilon float64) string {
+		t.Helper()
+		body := fmt.Sprintf(`{"dataset": "gate", "config": {"epsilon": %g}}`, epsilon)
+		code, resp := do(t, h, "POST", "/v1/jobs", []byte(body))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: status %d: %s", code, resp)
+		}
+		var v struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(resp, &v); err != nil || v.ID == "" {
+			t.Fatalf("submit envelope has no job id: %s", resp)
+		}
+		return v.ID
+	}
+
+	running := submit(0.05)
+	select {
+	case <-gs.entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("gated job never started scanning")
+	}
+	queued := submit(0.15)
+
+	code, body := do(t, h, "DELETE", "/v1/jobs/"+queued, nil)
+	if code != http.StatusOK {
+		t.Fatalf("cancel queued: status %d: %s", code, body)
+	}
+	Compare(t, filepath.Join(SuiteDir, "cancel_queued.json"), body)
+
+	code, body = do(t, h, "DELETE", "/v1/jobs/"+running, nil)
+	if code != http.StatusOK {
+		t.Fatalf("cancel running: status %d: %s", code, body)
+	}
+	Compare(t, filepath.Join(SuiteDir, "cancel_running.json"), body)
+
+	// Unblock the gated scan; the miner hits its next checkpoint, observes
+	// the cancelled context and the job finalizes as cancelled.
+	close(gs.release)
+	final := waitDone(t, h, running)
+	Compare(t, filepath.Join(SuiteDir, "job_cancelled.json"), final)
+
+	code, body = do(t, h, "DELETE", "/v1/jobs/"+running, nil)
+	if code != http.StatusConflict {
+		t.Fatalf("cancel finished: status %d: %s", code, body)
+	}
+	wrapped := fmt.Sprintf("{\"status\": %d, \"body\": %s}", code, body)
+	Compare(t, filepath.Join(SuiteDir, "errors", "cancel_finished.json"), []byte(wrapped))
 }

@@ -1,9 +1,11 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -28,15 +30,28 @@ const (
 type JobStatus string
 
 const (
-	StatusQueued  JobStatus = "queued"
-	StatusRunning JobStatus = "running"
-	StatusDone    JobStatus = "done"
-	StatusFailed  JobStatus = "failed"
+	StatusQueued    JobStatus = "queued"
+	StatusRunning   JobStatus = "running"
+	StatusDone      JobStatus = "done"
+	StatusFailed    JobStatus = "failed"
+	StatusCancelled JobStatus = "cancelled"
 )
 
+// finished reports whether the status is terminal.
+func (s JobStatus) finished() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
 // ErrQueueFull is returned by Submit when the bounded queue cannot accept
-// another job; HTTP maps it to 503.
+// another job; HTTP maps it to 503 with a Retry-After hint.
 var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrUnknownJob is returned by Cancel for an ID the queue does not know.
+var ErrUnknownJob = errors.New("service: unknown job")
+
+// ErrJobFinished is returned by Cancel when the job already reached a
+// terminal status; HTTP maps it to 409.
+var ErrJobFinished = errors.New("service: job already finished")
 
 // Job is one unit of mining work. Fields are written by the queue under its
 // lock; read snapshots through Queue.Snapshot or Job view methods.
@@ -57,9 +72,15 @@ type Job struct {
 	Started  time.Time
 	Finished time.Time
 
-	key  string
-	ds   *Dataset
-	done chan struct{}
+	// Timeout bounds the job's running time (0 = unbounded); the clock
+	// starts when the job leaves the queue, not at submission.
+	Timeout time.Duration
+
+	key             string
+	ds              *Dataset
+	done            chan struct{}
+	cancel          context.CancelFunc // set while running
+	cancelRequested bool
 }
 
 // JobView is the wire form of a job.
@@ -77,6 +98,7 @@ type JobView struct {
 	Started   *time.Time      `json:"started,omitempty"`
 	Finished  *time.Time      `json:"finished,omitempty"`
 	ElapsedNS int64           `json:"elapsed_ns,omitempty"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
 }
 
 // VolatileWireKeys lists the service wire fields that legitimately change
@@ -149,7 +171,10 @@ func NewQueue(workers, depth, history int, cache *Cache) *Queue {
 	return q
 }
 
-// Close stops accepting submissions and waits for running jobs to drain.
+// Close stops accepting submissions and drains the queue: workers finish
+// the jobs already queued or running before Close returns, so a graceful
+// shutdown (flipperd under SIGTERM) never drops a result a client could
+// still poll for.
 func (q *Queue) Close() {
 	q.mu.Lock()
 	if q.closed {
@@ -202,6 +227,16 @@ func jobKey(dataset string, kind JobKind, cfg *core.Config, epsilons []float64) 
 //   - enqueued: a new queued job, or ErrQueueFull when the bounded queue
 //     has no room.
 func (q *Queue) Submit(d *Dataset, kind JobKind, cfg core.Config, epsilons []float64) (*Job, error) {
+	return q.SubmitTimeout(d, kind, cfg, epsilons, 0)
+}
+
+// SubmitTimeout is Submit with a per-job deadline: once the job starts
+// running, its work is cancelled after timeout (0 = unbounded) and the job
+// finishes in StatusCancelled. A submission coalesced onto an inflight job
+// inherits that job's deadline — the timeout is an execution bound, not
+// part of the work's identity, so it does not split single-flight or the
+// cache.
+func (q *Queue) SubmitTimeout(d *Dataset, kind JobKind, cfg core.Config, epsilons []float64, timeout time.Duration) (*Job, error) {
 	key := jobKey(d.Name, kind, &cfg, epsilons)
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -218,6 +253,7 @@ func (q *Queue) Submit(d *Dataset, kind JobKind, cfg core.Config, epsilons []flo
 		Config:   cfg,
 		Epsilons: epsilons,
 		Created:  now,
+		Timeout:  timeout,
 		key:      key,
 		ds:       d,
 		done:     make(chan struct{}),
@@ -256,13 +292,13 @@ func (q *Queue) register(j *Job) {
 func (q *Queue) pruneLocked() {
 	completed := 0
 	for _, id := range q.order {
-		if s := q.jobs[id].Status; s == StatusDone || s == StatusFailed {
+		if q.jobs[id].Status.finished() {
 			completed++
 		}
 	}
 	for i := 0; completed > q.history && i < len(q.order); {
 		id := q.order[i]
-		if s := q.jobs[id].Status; s == StatusDone || s == StatusFailed {
+		if q.jobs[id].Status.finished() {
 			delete(q.jobs, id)
 			q.order = append(q.order[:i], q.order[i+1:]...)
 			completed--
@@ -279,24 +315,74 @@ func (q *Queue) worker() {
 	}
 }
 
-// run executes one job and finalizes it.
+// run executes one job and finalizes it. The job's work runs under a
+// context that Cancel and the job's Timeout can end, and under a panic
+// guard: a panicking mine fails its own job (stack in Err) instead of
+// killing the worker — and with it the daemon's capacity.
 func (q *Queue) run(j *Job) {
 	q.mu.Lock()
+	if j.Status != StatusQueued {
+		// Cancelled while queued: Cancel already finalized it.
+		q.mu.Unlock()
+		return
+	}
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if j.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), j.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	j.cancel = cancel
 	j.Status = StatusRunning
 	j.Started = time.Now()
 	q.mu.Unlock()
+	defer cancel()
 
-	var (
-		payload  []byte
-		stats    *core.StatsJSON
-		patterns int
-		err      error
-	)
+	payload, stats, patterns, err := q.execute(ctx, j)
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j.Finished = time.Now()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.Status = StatusDone
+		j.Result = payload
+		j.Stats = stats
+		// Only clean completions are cached: a cancelled or failed run has
+		// no payload worth replaying to later submissions.
+		q.cache.Put(j.key, CachedResult{Payload: payload, Patterns: patterns})
+	case errors.Is(err, context.DeadlineExceeded):
+		j.Status = StatusCancelled
+		j.Err = fmt.Sprintf("job timeout (%s) exceeded", j.Timeout)
+	case errors.Is(err, context.Canceled):
+		j.Status = StatusCancelled
+		j.Err = "cancelled"
+	default:
+		j.Status = StatusFailed
+		j.Err = err.Error()
+	}
+	delete(q.inflight, j.key)
+	q.pruneLocked()
+	close(j.done)
+}
+
+// execute performs the job's work under ctx, converting a panic anywhere
+// in the mining stack into an ordinary error carrying the stack trace.
+func (q *Queue) execute(ctx context.Context, j *Job) (payload []byte, stats *core.StatsJSON, patterns int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
 	switch j.Kind {
 	case JobMine:
 		q.minesRun.Add(1)
 		var res *core.Result
-		res, err = j.ds.Engine().Mine(j.Config)
+		res, err = j.ds.Engine().MineContext(ctx, j.Config)
 		if err == nil {
 			rj := res.JSON(j.ds.Tree)
 			stats = &rj.Stats
@@ -306,7 +392,7 @@ func (q *Queue) run(j *Job) {
 	case JobSweep:
 		q.sweepsRun.Add(1)
 		var points []core.EpsilonPoint
-		points, err = j.ds.Engine().EpsilonSweep(j.Config, j.Epsilons)
+		points, err = j.ds.Engine().EpsilonSweepContext(ctx, j.Config, j.Epsilons)
 		if err == nil {
 			patterns = len(points)
 			payload, err = json.Marshal(sweepResult{Points: points})
@@ -314,31 +400,52 @@ func (q *Queue) run(j *Job) {
 	default:
 		err = fmt.Errorf("service: unknown job kind %q", j.Kind)
 	}
-
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	j.Finished = time.Now()
-	if err != nil {
-		j.Status = StatusFailed
-		j.Err = err.Error()
-	} else {
-		j.Status = StatusDone
-		j.Result = payload
-		j.Stats = stats
-		q.cache.Put(j.key, CachedResult{Payload: payload, Patterns: patterns})
-	}
-	delete(q.inflight, j.key)
-	q.pruneLocked()
-	close(j.done)
+	return payload, stats, patterns, err
 }
 
-// Wait blocks until the job leaves the queue (done or failed), or the
-// timeout elapses; it reports whether the job finished.
+// Cancel requests cancellation of a job. A queued job is finalized
+// immediately (it never runs); a running job has its context cancelled and
+// finishes in StatusCancelled as soon as the miner observes it — within
+// one checkpoint interval. Terminal jobs return ErrJobFinished, unknown
+// IDs ErrUnknownJob. The returned view reflects the job after the call.
+func (q *Queue) Cancel(id string) (JobView, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return JobView{}, ErrUnknownJob
+	}
+	switch j.Status {
+	case StatusQueued:
+		j.cancelRequested = true
+		j.Status = StatusCancelled
+		j.Err = "cancelled"
+		j.Finished = time.Now()
+		delete(q.inflight, j.key)
+		q.pruneLocked()
+		close(j.done)
+	case StatusRunning:
+		if !j.cancelRequested {
+			j.cancelRequested = true
+			j.cancel()
+		}
+	default:
+		return q.viewLocked(j), ErrJobFinished
+	}
+	return q.viewLocked(j), nil
+}
+
+// Wait blocks until the job reaches a terminal status or the timeout
+// elapses; it reports whether the job finished. The timer is stopped on
+// the fast path, so high-rate synchronous waits don't accumulate pending
+// timers the way time.After would.
 func (q *Queue) Wait(j *Job, timeout time.Duration) bool {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
 	select {
 	case <-j.done:
 		return true
-	case <-time.After(timeout):
+	case <-t.C:
 		return false
 	}
 }
@@ -382,6 +489,9 @@ func (q *Queue) viewLocked(j *Job) JobView {
 		Result:   j.Result,
 		Created:  j.Created,
 	}
+	if j.Timeout > 0 {
+		v.TimeoutMS = j.Timeout.Milliseconds()
+	}
 	if !j.Started.IsZero() {
 		t := j.Started
 		v.Started = &t
@@ -389,7 +499,11 @@ func (q *Queue) viewLocked(j *Job) JobView {
 	if !j.Finished.IsZero() {
 		t := j.Finished
 		v.Finished = &t
-		v.ElapsedNS = j.Finished.Sub(j.Started).Nanoseconds()
+		// A job cancelled while still queued finished without ever
+		// starting; it has no elapsed time.
+		if !j.Started.IsZero() {
+			v.ElapsedNS = j.Finished.Sub(j.Started).Nanoseconds()
+		}
 	}
 	return v
 }
@@ -403,6 +517,7 @@ type QueueStats struct {
 	Running   int   `json:"running"`
 	Done      int   `json:"done"`
 	Failed    int   `json:"failed"`
+	Cancelled int   `json:"cancelled"`
 	CacheHits int   `json:"cache_hits"`
 	MinesRun  int64 `json:"mines_run"`
 	SweepsRun int64 `json:"sweeps_run"`
@@ -429,6 +544,8 @@ func (q *Queue) Stats() QueueStats {
 			s.Done++
 		case StatusFailed:
 			s.Failed++
+		case StatusCancelled:
+			s.Cancelled++
 		}
 		if j.CacheHit {
 			s.CacheHits++

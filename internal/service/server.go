@@ -24,6 +24,14 @@ type Options struct {
 	// JobHistory caps how many completed jobs stay pollable (default 1000);
 	// the oldest completed jobs and their payloads are pruned beyond it.
 	JobHistory int
+	// JobTimeout is the deadline applied to jobs whose submission carries
+	// no timeout_ms (default 0: no deadline). The clock starts when the
+	// job begins running.
+	JobTimeout time.Duration
+	// MaxJobTimeout caps every effective job deadline, including explicit
+	// timeout_ms requests (default 15m); ≤ 0 keeps the default. Deadlines
+	// above the cap are clamped, not rejected.
+	MaxJobTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -42,6 +50,9 @@ func (o Options) withDefaults() Options {
 	if o.JobHistory == 0 {
 		o.JobHistory = 1000
 	}
+	if o.MaxJobTimeout <= 0 {
+		o.MaxJobTimeout = 15 * time.Minute
+	}
 	return o
 }
 
@@ -52,6 +63,7 @@ type Server struct {
 	cache *Cache
 	queue *Queue
 	mux   *http.ServeMux
+	opts  Options
 	start time.Time
 }
 
@@ -61,6 +73,7 @@ func NewServer(reg *Registry, opts Options) *Server {
 	s := &Server{
 		reg:   reg,
 		cache: NewCache(opts.CacheSize),
+		opts:  opts,
 		start: time.Now(),
 	}
 	s.queue = NewQueue(opts.Workers, opts.QueueDepth, opts.JobHistory, s.cache)
@@ -68,6 +81,7 @@ func NewServer(reg *Registry, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -162,6 +176,10 @@ type SubmitRequest struct {
 	Config *ConfigPatch `json:"config"`
 	// Epsilons is the ε list for sweep jobs.
 	Epsilons []float64 `json:"epsilons"`
+	// TimeoutMS bounds the job's running time in milliseconds. Omitted or
+	// 0 inherits the server's default deadline; either way the effective
+	// deadline is clamped to the server's maximum.
+	TimeoutMS *int64 `json:"timeout_ms,omitempty"`
 }
 
 // errorBody is the JSON error envelope.
@@ -229,9 +247,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	j, err := s.queue.Submit(d, req.Kind, cfg, req.Epsilons)
+	timeout := s.opts.JobTimeout
+	if req.TimeoutMS != nil {
+		if *req.TimeoutMS < 0 {
+			writeError(w, http.StatusBadRequest, "timeout_ms must be ≥ 0")
+			return
+		}
+		if *req.TimeoutMS > 0 {
+			timeout = time.Duration(*req.TimeoutMS) * time.Millisecond
+		}
+	}
+	if timeout <= 0 || timeout > s.opts.MaxJobTimeout {
+		timeout = s.opts.MaxJobTimeout
+	}
+	j, err := s.queue.SubmitTimeout(d, req.Kind, cfg, req.Epsilons, timeout)
 	if errors.Is(err, ErrQueueFull) {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		// The queue is load-shedding; tell well-behaved clients when to
+		// come back instead of letting them hot-loop on 503s.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v: retry after a short backoff, or raise -queue-depth", err)
 		return
 	}
 	if err != nil {
@@ -254,6 +288,27 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+// handleCancelJob cancels a queued or running job. Responses: 200 with a
+// small acknowledgement envelope, 404 for unknown jobs, 409 when the job
+// already reached a terminal status. Cancelling a queued job finalizes it
+// immediately; a running job stops at the miner's next checkpoint.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, err := s.queue.Cancel(id)
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+	case errors.Is(err, ErrJobFinished):
+		writeError(w, http.StatusConflict, "job %s already finished (status %s)", id, v.Status)
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":               v.ID,
+			"status":           v.Status,
+			"cancel_requested": true,
+		})
+	}
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {

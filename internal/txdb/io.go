@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"os"
 	"strings"
 
 	"github.com/flipper-mining/flipper/internal/dict"
@@ -105,21 +104,27 @@ func validateBasketName(name string) error {
 // memory usage independent of database size (the disk-resident mode of the
 // paper's experiments). The dictionary is populated on the first pass and
 // then frozen: later passes must not meet unknown items.
+//
+// Scans read through a resumable retry layer (see retry.go): a transient
+// read fault mid-pass reopens the file at the first unconsumed byte instead
+// of failing the mine, delivering every transaction exactly once.
 type FileSource struct {
-	path string
-	dict *dict.Dictionary
-	n    int
-	init bool
+	path  string
+	dict  *dict.Dictionary
+	n     int
+	init  bool
+	retry RetryPolicy
+	wrap  ReaderWrapper
 }
 
 // OpenFile creates a FileSource over path with dictionary d (nil for fresh).
 // The file is validated (and the dictionary and transaction count populated)
-// by one immediate pass.
+// by one immediate pass. The source starts with DefaultRetry.
 func OpenFile(path string, d *dict.Dictionary) (*FileSource, error) {
 	if d == nil {
 		d = dict.New()
 	}
-	fs := &FileSource{path: path, dict: d}
+	fs := &FileSource{path: path, dict: d, retry: DefaultRetry}
 	if err := fs.Scan(func(itemset.Set) error { return nil }); err != nil {
 		return nil, err
 	}
@@ -127,15 +132,24 @@ func OpenFile(path string, d *dict.Dictionary) (*FileSource, error) {
 	return fs, nil
 }
 
+// SetRetry replaces the source's transient-read recovery policy (a zero
+// policy disables recovery). Not safe to call concurrently with Scan.
+func (fs *FileSource) SetRetry(p RetryPolicy) { fs.retry = p }
+
+// SetReaderWrapper installs a decorator applied to the raw file reader of
+// every (re)open — the fault-injection hook. Pass nil to remove. Not safe
+// to call concurrently with Scan.
+func (fs *FileSource) SetReaderWrapper(w ReaderWrapper) { fs.wrap = w }
+
 // Dict returns the source's dictionary.
 func (fs *FileSource) Dict() *dict.Dictionary { return fs.dict }
 
 // Len returns the number of transactions counted on the first pass.
 func (fs *FileSource) Len() int { return fs.n }
 
-// Scan implements Source by streaming the file.
+// Scan implements Source by streaming the file through the retry layer.
 func (fs *FileSource) Scan(fn func(tx itemset.Set) error) error {
-	f, err := os.Open(fs.path)
+	f, err := openRetryReader(fs.path, fs.retry, fs.wrap)
 	if err != nil {
 		return fmt.Errorf("txdb: %w", err)
 	}

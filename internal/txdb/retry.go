@@ -1,0 +1,161 @@
+package txdb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Transient-read recovery for the out-of-core paths. A FileSource re-reads
+// its basket file on every counting pass, so one flaky read — NFS hiccup,
+// overloaded disk, an injected fault in tests — would otherwise abort a
+// whole mine minutes in. The retryReader below absorbs such failures at the
+// byte level: it tracks how many bytes the consumer has seen, and on a
+// transient error closes the file, backs off, reopens, seeks to that
+// offset, and continues. The line scanner above it never observes the
+// fault, so transactions are delivered exactly once and mining under
+// faults is byte-identical to the fault-free run (pinned by
+// internal/faultinject's equivalence tests).
+
+// ErrTransient marks an error as retryable by wrapping (errors.Is). Errors
+// from other packages can opt in instead by implementing
+// `Transient() bool` — see IsTransient.
+var ErrTransient = errors.New("transient I/O error")
+
+// IsTransient reports whether err is worth retrying: it wraps ErrTransient
+// or something in its chain implements `Transient() bool` returning true.
+// Ordinary OS errors match neither, so retry stays inert for real failures
+// like a deleted file or a bad permission bit.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// RetryPolicy bounds transient-read recovery: up to Attempts consecutive
+// retries per fault, sleeping Backoff before the first and doubling it for
+// each retry after. Attempts == 0 disables recovery entirely.
+type RetryPolicy struct {
+	Attempts int
+	Backoff  time.Duration
+}
+
+// DefaultRetry is the policy out-of-core sources open with: a handful of
+// quick retries, enough to ride out a momentary stall without materially
+// delaying a genuinely failing mine.
+var DefaultRetry = RetryPolicy{Attempts: 4, Backoff: 2 * time.Millisecond}
+
+// ReaderWrapper decorates the raw file reader of each (re)open — the hook
+// fault-injection tests use to place faults underneath the retry layer.
+// The wrapper is re-applied after every reopen, so stateful wrappers see
+// one continuous schedule across reopens.
+type ReaderWrapper func(io.Reader) io.Reader
+
+// retryReader is an io.Reader over a file that survives transient read
+// errors by reopening the file and seeking back to the first unconsumed
+// byte. Bytes handed to the caller are counted in off before any fault can
+// occur, so recovery never rereads or drops data. Not safe for concurrent
+// use (each Scan builds its own).
+type retryReader struct {
+	path    string
+	policy  RetryPolicy
+	wrap    ReaderWrapper
+	f       *os.File
+	r       io.Reader
+	off     int64
+	retries int
+}
+
+// openRetryReader opens path for resumable reading. The initial open
+// itself retries transient failures under the same policy.
+func openRetryReader(path string, policy RetryPolicy, wrap ReaderWrapper) (*retryReader, error) {
+	r := &retryReader{path: path, policy: policy, wrap: wrap}
+	if err := r.reopen(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// reopen (re)establishes the reader at r.off, retrying transient open
+// failures with the policy's backoff.
+func (r *retryReader) reopen() error {
+	backoff := r.policy.Backoff
+	for attempt := 0; ; attempt++ {
+		f, err := os.Open(r.path)
+		if err == nil {
+			if r.off > 0 {
+				if _, err = f.Seek(r.off, io.SeekStart); err != nil {
+					f.Close()
+					return fmt.Errorf("txdb: resume %s at %d: %w", r.path, r.off, err)
+				}
+			}
+			r.f = f
+			if r.wrap != nil {
+				r.r = r.wrap(f)
+			} else {
+				r.r = f
+			}
+			return nil
+		}
+		if !IsTransient(err) || attempt >= r.policy.Attempts {
+			return err
+		}
+		r.retries++
+		sleep(backoff)
+		backoff *= 2
+	}
+}
+
+func (r *retryReader) Read(p []byte) (int, error) {
+	backoff := r.policy.Backoff
+	for attempt := 0; ; attempt++ {
+		if r.r == nil {
+			if err := r.reopen(); err != nil {
+				return 0, err
+			}
+		}
+		n, err := r.r.Read(p)
+		r.off += int64(n)
+		if err == nil || err == io.EOF || !IsTransient(err) || attempt >= r.policy.Attempts {
+			return n, err
+		}
+		// Transient fault: drop the handle so the next iteration (or the
+		// next Read, when this one already has bytes to deliver) reopens at
+		// the resume offset.
+		r.retries++
+		r.f.Close()
+		r.f, r.r = nil, nil
+		if n > 0 {
+			// Deliver what arrived before the fault; recovery happens on
+			// the next Read so no byte waits on a backoff sleep.
+			return n, nil
+		}
+		sleep(backoff)
+		backoff *= 2
+	}
+}
+
+func (r *retryReader) Close() error {
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f, r.r = nil, nil
+	return err
+}
+
+// Retries reports how many transient faults the reader recovered from.
+func (r *retryReader) Retries() int { return r.retries }
+
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,174 @@
+package txdb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/flipper-mining/flipper/internal/itemset"
+)
+
+// flakeReader injects a transient error every `period` reads, failing
+// before consuming (n = 0), like a stalled syscall.
+type flakeReader struct {
+	r      io.Reader
+	reads  *int
+	period int
+}
+
+type transientErr struct{ at int }
+
+func (e *transientErr) Error() string   { return fmt.Sprintf("flake at read %d", e.at) }
+func (e *transientErr) Transient() bool { return true }
+
+func (fr *flakeReader) Read(p []byte) (int, error) {
+	*fr.reads++
+	if fr.period > 0 && *fr.reads%fr.period == 0 {
+		return 0, &transientErr{at: *fr.reads}
+	}
+	// Tiny reads force many Read calls so the fault schedule actually
+	// triggers mid-file.
+	if len(p) > 3 {
+		p = p[:3]
+	}
+	return fr.r.Read(p)
+}
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestIsTransient pins the classification contract: the sentinel and the
+// Transient() interface match; ordinary errors do not.
+func TestIsTransient(t *testing.T) {
+	if !IsTransient(ErrTransient) {
+		t.Error("ErrTransient itself not transient")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", ErrTransient)) {
+		t.Error("wrapped sentinel not transient")
+	}
+	if !IsTransient(&transientErr{}) {
+		t.Error("Transient() implementer not transient")
+	}
+	if IsTransient(errors.New("disk on fire")) {
+		t.Error("plain error classified transient")
+	}
+	if IsTransient(os.ErrNotExist) {
+		t.Error("os.ErrNotExist classified transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil classified transient")
+	}
+}
+
+// TestRetryReaderResumesAtOffset reads a file through a reader that faults
+// every few reads and checks the recovered byte stream is exactly the file
+// — nothing dropped, nothing duplicated.
+func TestRetryReaderResumesAtOffset(t *testing.T) {
+	content := "abcdefghijklmnopqrstuvwxyz0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	path := writeTemp(t, content)
+	reads := 0
+	r, err := openRetryReader(path, RetryPolicy{Attempts: 3},
+		func(raw io.Reader) io.Reader { return &flakeReader{r: raw, reads: &reads, period: 4} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("read through faults: %v", err)
+	}
+	if string(got) != content {
+		t.Fatalf("recovered stream diverged:\nwant %q\ngot  %q", content, got)
+	}
+	if r.Retries() == 0 {
+		t.Fatal("no retries recorded — the fault schedule never fired")
+	}
+}
+
+// TestRetryReaderHardErrorPropagates pins that non-transient errors are
+// returned immediately, not retried.
+func TestRetryReaderHardErrorPropagates(t *testing.T) {
+	path := writeTemp(t, "some data")
+	hard := errors.New("hard failure")
+	calls := 0
+	r, err := openRetryReader(path, RetryPolicy{Attempts: 5},
+		func(raw io.Reader) io.Reader {
+			return readerFunc(func(p []byte) (int, error) { calls++; return 0, hard })
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := io.ReadAll(r); !errors.Is(err, hard) {
+		t.Fatalf("err = %v, want the hard failure", err)
+	}
+	if calls != 1 {
+		t.Fatalf("hard error retried %d times", calls-1)
+	}
+}
+
+// TestRetryReaderExhaustion pins the bounded-retry contract: a fault storm
+// longer than the policy's budget surfaces the transient error.
+func TestRetryReaderExhaustion(t *testing.T) {
+	path := writeTemp(t, "some data")
+	r, err := openRetryReader(path, RetryPolicy{Attempts: 2},
+		func(raw io.Reader) io.Reader {
+			return readerFunc(func(p []byte) (int, error) { return 0, &transientErr{} })
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var te *transientErr
+	if _, err := io.ReadAll(r); !errors.As(err, &te) {
+		t.Fatalf("err = %v, want exhausted transient error", err)
+	}
+}
+
+type readerFunc func(p []byte) (int, error)
+
+func (f readerFunc) Read(p []byte) (int, error) { return f(p) }
+
+// TestFileSourceScanUnderFaults streams a basket file through a faulty
+// reader and checks every transaction arrives exactly once, in order.
+func TestFileSourceScanUnderFaults(t *testing.T) {
+	var sb strings.Builder
+	want := 200
+	for i := 0; i < want; i++ {
+		fmt.Fprintf(&sb, "item%03d,common\n", i)
+	}
+	path := writeTemp(t, sb.String())
+	fs, err := OpenFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	fs.SetReaderWrapper(func(raw io.Reader) io.Reader {
+		return &flakeReader{r: raw, reads: &reads, period: 5}
+	})
+	fs.SetRetry(RetryPolicy{Attempts: 4})
+	got := 0
+	err = fs.Scan(func(tx itemset.Set) error {
+		if len(tx) != 2 {
+			return fmt.Errorf("transaction %d has %d items", got, len(tx))
+		}
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scan under faults: %v", err)
+	}
+	if got != want {
+		t.Fatalf("delivered %d transactions, want %d", got, want)
+	}
+}

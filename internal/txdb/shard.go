@@ -159,7 +159,9 @@ func OpenBasketSource(path string, d *dict.Dictionary, stream bool) (Source, err
 	if stream {
 		return OpenFile(path, d)
 	}
-	f, err := os.Open(path)
+	// The one-shot load reads through the same transient-fault retry layer
+	// the streaming mode scans with.
+	f, err := openRetryReader(path, DefaultRetry, nil)
 	if err != nil {
 		return nil, err
 	}
