@@ -7,6 +7,9 @@
 //	flipperd -data DIR [-addr :8080] [-workers 2] [-queue 64] [-cache 128]
 //	         [-history 1000] [-stream] [-debug-addr localhost:6060]
 //	         [-job-timeout 0] [-max-job-timeout 15m]
+//	         [-heartbeat-interval 1s] [-hedge-quantile 0.9]
+//	flipperd -data DIR -worker -join http://coordinator:8080
+//	         [-advertise http://me:8081] [-worker-id NAME]
 //
 // The data directory holds one subdirectory per dataset, each with a
 // taxonomy.tsv (child<TAB>parent edges) and either a baskets.txt (one
@@ -25,6 +28,15 @@
 // datasets mine without ever being resident in memory; otherwise each
 // dataset is materialized into memory once at startup.
 //
+// Multi-node operation (docs/OPERATIONS.md): the default mode is a
+// coordinator — it serves the /v1 API, accepts worker heartbeats on
+// /cluster/heartbeat, and scatter–gathers per-shard support counting over
+// any registered workers, falling back to local mining (degraded mode)
+// when none are reachable. With -worker the process instead serves only
+// the /cluster counting endpoints and pushes heartbeats to -join; workers
+// must load the same -data directory (fingerprints are verified per
+// request, so version-skewed workers are rejected, not silently wrong).
+//
 // API (JSON; see docs/ARCHITECTURE.md):
 //
 //	POST   /v1/jobs        {"dataset":"groceries","config":{"epsilon":0.2}}
@@ -33,12 +45,15 @@
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	GET    /v1/datasets    registered datasets
 //	GET    /v1/healthz     liveness
+//	GET    /v1/readyz      readiness (queue saturation, drain, cluster reach)
 //	GET    /v1/stats       cache hit rate, queue depth, per-job stats
+//	GET    /cluster/workers  worker registry with health states
 //
 // Every job runs under a deadline: the request's timeout_ms if given, else
 // -job-timeout, both clamped by -max-job-timeout (default 15m). Expired or
-// cancelled jobs finish with status "cancelled". On SIGTERM the queue is
-// drained: running jobs complete and are recorded before exit.
+// cancelled jobs finish with status "cancelled". On SIGTERM readiness
+// flips to 503 (draining) and the queue is drained: running jobs complete
+// and are recorded before exit.
 //
 // Identical submissions are served from the cache (or coalesced onto the
 // in-flight job), so re-issued mines and ε-sweeps cost one computation.
@@ -63,9 +78,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/flipper-mining/flipper/internal/cluster"
 	"github.com/flipper-mining/flipper/internal/service"
 )
 
@@ -82,6 +99,13 @@ func main() {
 
 		jobTimeout = flag.Duration("job-timeout", 0, "default per-job deadline applied when a submission has no timeout_ms (0 = cap at -max-job-timeout)")
 		maxTimeout = flag.Duration("max-job-timeout", 0, "hard ceiling on any job's deadline, clamping timeout_ms and -job-timeout (0 = 15m)")
+
+		workerMode = flag.Bool("worker", false, "run as a counting worker: serve /cluster endpoints and heartbeat to -join instead of the /v1 API")
+		join       = flag.String("join", "", "coordinator base URL a -worker heartbeats to (e.g. http://coordinator:8080)")
+		advertise  = flag.String("advertise", "", "URL the coordinator should dial this worker at (default http://<hostname><addr>)")
+		workerID   = flag.String("worker-id", "", "stable worker identity in the coordinator's registry (default hostname)")
+		hbInterval = flag.Duration("heartbeat-interval", time.Second, "worker heartbeat period; the coordinator marks workers suspect after 3 missed beats and dead after 9")
+		hedgeQ     = flag.Float64("hedge-quantile", 0.9, "straggler deadline: hedge a shard dispatch still unanswered after this quantile of recent latencies (>= 1 disables hedging)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -101,6 +125,23 @@ func main() {
 	for _, info := range reg.List() {
 		log.Printf("flipperd: dataset %q: %d tx, height %d, %d nodes (stream=%v)",
 			info.Name, info.Transactions, info.Height, info.Nodes, info.Stream)
+	}
+
+	// Both roles share the catalog: the coordinator resolves datasets and
+	// mines the degraded fallback through it; workers count against it.
+	// Fingerprints guard against version skew between nodes.
+	cat := cluster.NewCatalog()
+	for _, name := range names {
+		d, ok := reg.Get(name)
+		if !ok {
+			continue
+		}
+		cat.Add(name, d.Engine(), d.Tree, cluster.NewFingerprint(name, d.Src, d.Tree))
+	}
+
+	if *workerMode {
+		runWorker(cat, *addr, *join, *advertise, *workerID, *hbInterval)
+		return
 	}
 
 	var debugSrv *http.Server
@@ -125,6 +166,12 @@ func main() {
 		}()
 	}
 
+	co := cluster.New(cat, cluster.Options{
+		SuspectAfter:  3 * *hbInterval,
+		DeadAfter:     9 * *hbInterval,
+		HedgeQuantile: *hedgeQ,
+	})
+
 	srv := service.NewServer(reg, service.Options{
 		Workers:       *workers,
 		QueueDepth:    *queue,
@@ -132,8 +179,12 @@ func main() {
 		JobHistory:    *history,
 		JobTimeout:    *jobTimeout,
 		MaxJobTimeout: *maxTimeout,
+		Coordinator:   co,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/cluster/", co.Handler())
+	mux.Handle("/", srv.Handler())
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 
 	done := make(chan struct{})
 	go func() {
@@ -142,6 +193,9 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Print("flipperd: shutting down")
+		// Flip readiness first so load balancers stop routing new
+		// submissions while in-flight requests finish under Shutdown.
+		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
@@ -161,6 +215,58 @@ func main() {
 		*addr, *workers, *queue, *cache)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("flipperd: %v", err)
+	}
+	<-done
+}
+
+// runWorker serves the counting endpoints and heartbeats to the
+// coordinator until SIGTERM. Workers hold no job state, so shutdown is
+// just closing the listener: in-flight count requests are cheap and the
+// coordinator retries or hedges any that are cut off.
+func runWorker(cat *cluster.Catalog, addr, join, advertise, id string, interval time.Duration) {
+	if join == "" {
+		fmt.Fprintln(os.Stderr, "flipperd: -worker requires -join (coordinator URL)")
+		os.Exit(2)
+	}
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "localhost"
+	}
+	if id == "" {
+		id = host
+	}
+	if advertise == "" {
+		if strings.HasPrefix(addr, ":") {
+			advertise = "http://" + host + addr
+		} else {
+			advertise = "http://" + addr
+		}
+	}
+
+	w := cluster.NewWorker(id, cat)
+	httpSrv := &http.Server{Addr: addr, Handler: w.Handler()}
+
+	ctx, stop := context.WithCancel(context.Background())
+	go w.HeartbeatLoop(ctx, join, advertise, interval, nil)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("flipperd: worker shutting down")
+		stop() // end the heartbeat loop so the coordinator marks us dead
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Printf("flipperd: worker shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("flipperd: worker %q on %s, joining %s (advertising %s)", id, addr, join, advertise)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("flipperd: worker: %v", err)
 	}
 	<-done
 }

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/flipper-mining/flipper/internal/core"
+	"github.com/flipper-mining/flipper/internal/itemset"
+	"github.com/flipper-mining/flipper/internal/taxonomy"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// HTTP paths of the cluster wire protocol. Workers serve PathCount and
+// PathPing; coordinators serve PathHeartbeat.
+const (
+	// PathCount is the worker endpoint answering one shard's partial
+	// support vector for one cell's candidates (POST, CountRequest →
+	// CountResponse).
+	PathCount = "/cluster/count"
+	// PathPing is the worker liveness probe (GET).
+	PathPing = "/cluster/ping"
+	// PathHeartbeat is the coordinator endpoint workers push Heartbeat
+	// messages to (POST).
+	PathHeartbeat = "/cluster/heartbeat"
+)
+
+// Fingerprint identifies a dataset build well enough to catch the failure
+// mode that silently corrupts distributed counting: a worker holding a
+// different dataset (or a differently-built taxonomy) under the same name.
+// Loading is deterministic — LoadDir resolves identical dictionary IDs and
+// shard layouts from identical files — so equal fingerprints mean the
+// worker's item IDs and shard indexes line up with the coordinator's.
+type Fingerprint struct {
+	Dataset      string `json:"dataset"`
+	Transactions int    `json:"transactions"`
+	Height       int    `json:"height"`
+	Nodes        int    `json:"nodes"`
+}
+
+// NewFingerprint derives the fingerprint of a loaded dataset.
+func NewFingerprint(name string, src txdb.Source, tree *taxonomy.Tree) Fingerprint {
+	return Fingerprint{
+		Dataset:      name,
+		Transactions: src.Len(),
+		Height:       tree.Height(),
+		Nodes:        tree.NodeCount(),
+	}
+}
+
+func (f Fingerprint) String() string {
+	return fmt.Sprintf("%s(tx=%d,h=%d,nodes=%d)", f.Dataset, f.Transactions, f.Height, f.Nodes)
+}
+
+// CountRequest asks a worker for one shard's partial support vector of one
+// cell's candidates. Candidates travel in slab-entry order and the response
+// vector is aligned with them (see core.ShardSupports). ConfigKey is the
+// coordinator's core.Config.CanonicalKey; the worker recomputes it from
+// Config and rejects mismatches, so a corrupted or version-skewed config
+// can never produce silently different counts.
+type CountRequest struct {
+	Fingerprint Fingerprint   `json:"fingerprint"`
+	ConfigKey   string        `json:"config_key"`
+	Config      core.Config   `json:"config"`
+	Level       int           `json:"level"`
+	K           int           `json:"k"`
+	Shard       int           `json:"shard"`
+	Candidates  []itemset.Set `json:"candidates"`
+}
+
+// CountResponse is the worker's answer: the partial support vector, aligned
+// index-for-index with the request's candidates.
+type CountResponse struct {
+	Worker   string  `json:"worker"`
+	Supports []int64 `json:"supports"`
+}
+
+// Heartbeat is the worker → coordinator health push: who the worker is,
+// where it serves the count endpoint, and which dataset builds it holds.
+type Heartbeat struct {
+	Worker   string        `json:"worker"`
+	Addr     string        `json:"addr"` // base URL, e.g. http://10.0.0.7:8081
+	Datasets []Fingerprint `json:"datasets"`
+}
+
+// Catalog maps dataset names to the engine and fingerprint both sides of
+// the protocol resolve requests against: workers count through it,
+// coordinators mine through it and fall back to its engines in degraded
+// mode. Safe for concurrent use.
+type Catalog struct {
+	mu sync.RWMutex
+	m  map[string]CatalogEntry
+}
+
+// CatalogEntry is one dataset's cluster-facing state.
+type CatalogEntry struct {
+	Engine *core.Engine
+	Tree   *taxonomy.Tree
+	Fp     Fingerprint
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{m: make(map[string]CatalogEntry)}
+}
+
+// Add registers (or replaces) a dataset.
+func (c *Catalog) Add(name string, eng *core.Engine, tree *taxonomy.Tree, fp Fingerprint) {
+	c.mu.Lock()
+	c.m[name] = CatalogEntry{Engine: eng, Tree: tree, Fp: fp}
+	c.mu.Unlock()
+}
+
+// Get looks a dataset up by name.
+func (c *Catalog) Get(name string) (CatalogEntry, bool) {
+	c.mu.RLock()
+	e, ok := c.m[name]
+	c.mu.RUnlock()
+	return e, ok
+}
+
+// Fingerprints lists every registered dataset's fingerprint, sorted by
+// dataset name — the payload a worker heartbeats.
+func (c *Catalog) Fingerprints() []Fingerprint {
+	c.mu.RLock()
+	out := make([]Fingerprint, 0, len(c.m))
+	for _, e := range c.m {
+		out = append(out, e.Fp)
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Dataset < out[j].Dataset })
+	return out
+}

@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a registered worker's health as the coordinator sees it.
+type State int
+
+const (
+	// StateAlive: recent heartbeat, no outstanding dispatch failures.
+	StateAlive State = iota
+	// StateSuspect: heartbeat overdue, or recent dispatch failures. Suspect
+	// workers are still dispatched to — last, after every alive worker.
+	StateSuspect
+	// StateDead: heartbeat long overdue or repeated dispatch failures. Dead
+	// workers receive no dispatches until heartbeats bring them back.
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// Dispatch-failure thresholds. Health is driven by two independent signals:
+// heartbeat age (is the worker up?) and dispatch failures (can it actually
+// serve?). One failed dispatch makes a worker suspect — it keeps serving,
+// deprioritized — and failDead consecutive failures make it dead regardless
+// of heartbeats, because a worker that heartbeats but cannot answer counts
+// is exactly the one that must stop receiving shards. Each accepted
+// heartbeat decays one failure, so a worker that recovers (and a network
+// whose fault burst passes) walks back to alive instead of being banned
+// forever; a successful dispatch clears the count immediately.
+const (
+	failSuspect = 1
+	failDead    = 3
+)
+
+// WorkerInfo is a point-in-time snapshot of one registered worker.
+type WorkerInfo struct {
+	ID       string
+	Addr     string
+	State    State
+	LastSeen time.Time
+	Failures int
+	Datasets []Fingerprint
+}
+
+// serves reports whether the worker advertises a dataset build matching fp.
+func (w *WorkerInfo) serves(fp Fingerprint) bool {
+	for _, d := range w.Datasets {
+		if d == fp {
+			return true
+		}
+	}
+	return false
+}
+
+// Registry is the coordinator's worker table: heartbeat-driven liveness
+// plus dispatch-failure accounting, with health states computed lazily from
+// both (no background reaper goroutine — a worker's state is a pure
+// function of the clock, which also makes it trivially testable with an
+// injected clock). Safe for concurrent use.
+type Registry struct {
+	mu           sync.Mutex
+	workers      map[string]*workerEntry
+	suspectAfter time.Duration
+	deadAfter    time.Duration
+	now          func() time.Time
+}
+
+type workerEntry struct {
+	addr     string
+	lastSeen time.Time
+	failures int
+	datasets []Fingerprint
+}
+
+// NewRegistry builds a registry: a worker whose last heartbeat is older
+// than suspectAfter is suspect, older than deadAfter dead. now is the clock
+// (nil = time.Now), injectable so state-transition tests run on a virtual
+// timeline.
+func NewRegistry(suspectAfter, deadAfter time.Duration, now func() time.Time) *Registry {
+	if suspectAfter <= 0 {
+		suspectAfter = 3 * time.Second
+	}
+	if deadAfter <= suspectAfter {
+		deadAfter = 3 * suspectAfter
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Registry{
+		workers:      make(map[string]*workerEntry),
+		suspectAfter: suspectAfter,
+		deadAfter:    deadAfter,
+		now:          now,
+	}
+}
+
+// Heartbeat records a worker's push: registers unknown workers, refreshes
+// lastSeen and the advertised datasets, and decays one dispatch failure.
+func (r *Registry) Heartbeat(hb Heartbeat) {
+	if hb.Worker == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[hb.Worker]
+	if w == nil {
+		w = &workerEntry{}
+		r.workers[hb.Worker] = w
+	}
+	w.addr = hb.Addr
+	w.lastSeen = r.now()
+	w.datasets = hb.Datasets
+	if w.failures > 0 {
+		w.failures--
+	}
+}
+
+// Remove deregisters a worker (operator action or test harness); unknown
+// IDs are a no-op.
+func (r *Registry) Remove(id string) {
+	r.mu.Lock()
+	delete(r.workers, id)
+	r.mu.Unlock()
+}
+
+// RecordFailure counts one failed dispatch against a worker.
+func (r *Registry) RecordFailure(id string) {
+	r.mu.Lock()
+	if w := r.workers[id]; w != nil && w.failures < failDead {
+		w.failures++
+	}
+	r.mu.Unlock()
+}
+
+// RecordSuccess clears a worker's dispatch-failure count.
+func (r *Registry) RecordSuccess(id string) {
+	r.mu.Lock()
+	if w := r.workers[id]; w != nil {
+		w.failures = 0
+	}
+	r.mu.Unlock()
+}
+
+func (r *Registry) stateLocked(w *workerEntry, now time.Time) State {
+	age := now.Sub(w.lastSeen)
+	switch {
+	case age >= r.deadAfter || w.failures >= failDead:
+		return StateDead
+	case age >= r.suspectAfter || w.failures >= failSuspect:
+		return StateSuspect
+	}
+	return StateAlive
+}
+
+func (r *Registry) infoLocked(id string, w *workerEntry, now time.Time) WorkerInfo {
+	return WorkerInfo{
+		ID:       id,
+		Addr:     w.addr,
+		State:    r.stateLocked(w, now),
+		LastSeen: w.lastSeen,
+		Failures: w.failures,
+		Datasets: w.datasets,
+	}
+}
+
+// StateOf reports a worker's current health; unknown workers are dead.
+func (r *Registry) StateOf(id string) State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[id]
+	if w == nil {
+		return StateDead
+	}
+	return r.stateLocked(w, r.now())
+}
+
+// Snapshot lists every registered worker, sorted by ID.
+func (r *Registry) Snapshot() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	out := make([]WorkerInfo, 0, len(r.workers))
+	for id, w := range r.workers {
+		out = append(out, r.infoLocked(id, w, now))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Serving lists the non-dead workers advertising a dataset build matching
+// fp, alive workers first, each group sorted by ID — the deterministic
+// order shard-affinity scheduling indexes into.
+func (r *Registry) Serving(fp Fingerprint) []WorkerInfo {
+	all := r.Snapshot()
+	out := make([]WorkerInfo, 0, len(all))
+	for _, st := range []State{StateAlive, StateSuspect} {
+		for _, w := range all {
+			if w.State == st && w.serves(fp) {
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// Reachable counts the non-dead workers — the readiness signal load
+// balancers drain on.
+func (r *Registry) Reachable() int {
+	n := 0
+	for _, w := range r.Snapshot() {
+		if w.State != StateDead {
+			n++
+		}
+	}
+	return n
+}

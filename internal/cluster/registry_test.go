@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is the injected registry timeline: tests advance it explicitly,
+// so heartbeat-age transitions are exact rather than sleep-raced.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testFp(name string) Fingerprint {
+	return Fingerprint{Dataset: name, Transactions: 100, Height: 3, Nodes: 42}
+}
+
+func hb(worker, addr string, fps ...Fingerprint) Heartbeat {
+	return Heartbeat{Worker: worker, Addr: addr, Datasets: fps}
+}
+
+// TestRegistryHeartbeatFlap walks one worker through the full health cycle
+// on a virtual clock: alive → suspect (heartbeat overdue) → alive (flap
+// recovers) → suspect → dead (heartbeat long overdue) → alive again on the
+// next heartbeat.
+func TestRegistryHeartbeatFlap(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := NewRegistry(3*time.Second, 9*time.Second, clk.now)
+	fp := testFp("g")
+
+	r.Heartbeat(hb("w1", "http://a", fp))
+	if got := r.StateOf("w1"); got != StateAlive {
+		t.Fatalf("fresh heartbeat: state %v, want alive", got)
+	}
+
+	clk.advance(4 * time.Second)
+	if got := r.StateOf("w1"); got != StateSuspect {
+		t.Fatalf("heartbeat 4s old: state %v, want suspect", got)
+	}
+	// Suspect workers still serve — deprioritized, not excluded.
+	if ws := r.Serving(fp); len(ws) != 1 || ws[0].State != StateSuspect {
+		t.Fatalf("suspect worker not serving: %+v", ws)
+	}
+
+	// The flap recovers: one heartbeat restores alive immediately.
+	r.Heartbeat(hb("w1", "http://a", fp))
+	if got := r.StateOf("w1"); got != StateAlive {
+		t.Fatalf("after recovery heartbeat: state %v, want alive", got)
+	}
+
+	clk.advance(4 * time.Second)
+	if got := r.StateOf("w1"); got != StateSuspect {
+		t.Fatalf("second flap: state %v, want suspect", got)
+	}
+	clk.advance(6 * time.Second) // 10s since last heartbeat ≥ deadAfter
+	if got := r.StateOf("w1"); got != StateDead {
+		t.Fatalf("heartbeat 10s old: state %v, want dead", got)
+	}
+	if ws := r.Serving(fp); len(ws) != 0 {
+		t.Fatalf("dead worker still serving: %+v", ws)
+	}
+	if r.Reachable() != 0 {
+		t.Fatalf("dead worker counted reachable")
+	}
+
+	// Death by heartbeat age is not a ban: the worker comes back.
+	r.Heartbeat(hb("w1", "http://a", fp))
+	if got := r.StateOf("w1"); got != StateAlive {
+		t.Fatalf("post-death heartbeat: state %v, want alive", got)
+	}
+}
+
+// TestRegistryDispatchFailures pins the failure-counter half of health:
+// one failure → suspect, failDead failures → dead even with fresh
+// heartbeats, success resets, heartbeats decay one failure each.
+func TestRegistryDispatchFailures(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := NewRegistry(3*time.Second, 9*time.Second, clk.now)
+	fp := testFp("g")
+	r.Heartbeat(hb("w1", "http://a", fp))
+
+	r.RecordFailure("w1")
+	if got := r.StateOf("w1"); got != StateSuspect {
+		t.Fatalf("1 failure: state %v, want suspect", got)
+	}
+	r.RecordFailure("w1")
+	r.RecordFailure("w1")
+	if got := r.StateOf("w1"); got != StateDead {
+		t.Fatalf("%d failures: state %v, want dead", failDead, got)
+	}
+
+	// Heartbeats keep coming (the worker is up but can't serve counts) —
+	// each decays one failure, walking dead → suspect → alive.
+	clk.advance(time.Second)
+	r.Heartbeat(hb("w1", "http://a", fp))
+	if got := r.StateOf("w1"); got != StateSuspect {
+		t.Fatalf("after one decay heartbeat: state %v, want suspect", got)
+	}
+	r.Heartbeat(hb("w1", "http://a", fp))
+	r.Heartbeat(hb("w1", "http://a", fp))
+	if got := r.StateOf("w1"); got != StateAlive {
+		t.Fatalf("after full decay: state %v, want alive", got)
+	}
+
+	// A successful dispatch clears everything at once.
+	r.RecordFailure("w1")
+	r.RecordFailure("w1")
+	r.RecordSuccess("w1")
+	if got := r.StateOf("w1"); got != StateAlive {
+		t.Fatalf("after success: state %v, want alive", got)
+	}
+
+	if got := r.StateOf("unknown"); got != StateDead {
+		t.Fatalf("unknown worker: state %v, want dead", got)
+	}
+}
+
+// TestRegistryServingOrder pins the deterministic affinity order: alive
+// workers first, then suspect, each sorted by ID, and only workers whose
+// advertised fingerprint matches exactly.
+func TestRegistryServingOrder(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := NewRegistry(3*time.Second, 9*time.Second, clk.now)
+	fp := testFp("g")
+	other := testFp("h")
+	stale := fp
+	stale.Transactions++ // same name, different build
+
+	r.Heartbeat(hb("w3", "http://c", fp))
+	r.Heartbeat(hb("w1", "http://a", fp))
+	r.Heartbeat(hb("w4", "http://d", other)) // different dataset
+	r.Heartbeat(hb("w5", "http://e", stale)) // mismatched build of the same dataset
+	r.RecordFailure("w3")                    // w3 drops to suspect
+
+	clk.advance(time.Second)
+	r.Heartbeat(hb("w2", "http://b", fp))
+
+	ws := r.Serving(fp)
+	ids := make([]string, len(ws))
+	for i, w := range ws {
+		ids[i] = w.ID
+	}
+	want := []string{"w1", "w2", "w3"} // alive w1,w2 (ID order), then suspect w3
+	if len(ids) != len(want) {
+		t.Fatalf("serving %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("serving %v, want %v", ids, want)
+		}
+	}
+	if r.Reachable() != 5 {
+		t.Fatalf("reachable %d, want 5", r.Reachable())
+	}
+	r.Remove("w5")
+	if r.Reachable() != 4 {
+		t.Fatalf("after remove: reachable %d, want 4", r.Reachable())
+	}
+}

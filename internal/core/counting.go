@@ -16,6 +16,12 @@ func (m *miner) count(c *cell) {
 	m.stats.DBScans++
 	m.stats.TrieNodes += int64(c.store.NodeCount())
 	c.store.Freeze()
+	if m.remote != nil {
+		// Delegated counting (MineRemote): the CellCounter owns the pass —
+		// strategy choice, sharding, fan-out all happen on its side.
+		m.countRemote(c)
+		return
+	}
 	strategy := m.cfg.Strategy
 	if strategy == CountAuto {
 		strategy = m.chooseStrategy(c)

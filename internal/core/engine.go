@@ -470,6 +470,16 @@ type miner struct {
 	// uncancellable run pays one nil check per poll.
 	done <-chan struct{}
 
+	// ctx is the run's context; counting delegated over the network needs
+	// the context itself, not just its done channel. Background for plain
+	// Mine.
+	ctx context.Context
+
+	// remote, when set, replaces every local counting backend: count hands
+	// each cell's candidates to it and trusts the returned totals
+	// (MineRemote). Errors park in scanErr like streaming scan failures.
+	remote CellCounter
+
 	// scanErr records the first streaming counting-pass failure (the
 	// materialized paths surface errors at init instead). Counting cannot
 	// return errors through the mining loop, so the streaming backends park
@@ -524,6 +534,12 @@ var errCancelled = fmt.Errorf("core: run cancelled")
 // before and after binding, but never aborts a build another run may be
 // waiting on.
 func (e *Engine) MineContext(ctx context.Context, cfg Config) (*Result, error) {
+	return e.mineContext(ctx, cfg, nil)
+}
+
+// mineContext is the shared run body of MineContext and MineRemote: one
+// mining pass under ctx, counting locally or through remote.
+func (e *Engine) mineContext(ctx context.Context, cfg Config, remote CellCounter) (*Result, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: mine aborted: %w", err)
@@ -546,6 +562,8 @@ func (e *Engine) MineContext(ctx context.Context, cfg Config) (*Result, error) {
 		n:      e.src.Len(),
 		minSup: minSup,
 		done:   ctx.Done(),
+		ctx:    ctx,
+		remote: remote,
 	}
 	if err := m.bind(e); err != nil {
 		return nil, err

@@ -123,28 +123,32 @@ type PatternJSON struct {
 // StatsJSON is the wire form of a run's Stats, with the elapsed time in
 // both machine (nanoseconds) and human form.
 type StatsJSON struct {
-	Transactions      int    `json:"transactions"`
-	Height            int    `json:"height"`
-	MaxK              int    `json:"max_k"`
-	DBScans           int64  `json:"db_scans"`
-	CandidatesCounted int64  `json:"candidates_counted"`
-	SubsetPruned      int64  `json:"subset_pruned"`
-	FrequentItemsets  int64  `json:"frequent_itemsets"`
-	PositiveItemsets  int64  `json:"positive_itemsets"`
-	NegativeItemsets  int64  `json:"negative_itemsets"`
-	AliveItemsets     int64  `json:"alive_itemsets"`
-	TPGBreaks         int64  `json:"tpg_breaks"`
-	SIBPExcludedItems int64  `json:"sibp_excluded_items"`
-	BitmapBuilds      int64  `json:"bitmap_builds"`
-	BitmapWordOps     int64  `json:"bitmap_word_ops"`
-	TrieNodes         int64  `json:"trie_nodes"`
-	ProbesPruned      int64  `json:"probes_pruned"`
-	Shards            int    `json:"shards"`
-	ShardMergeNs      int64  `json:"shard_merge_ns"`
-	PeakCandidates    int64  `json:"peak_candidates"`
-	PeakBytes         int64  `json:"peak_bytes"`
-	ElapsedNS         int64  `json:"elapsed_ns"`
-	Elapsed           string `json:"elapsed"`
+	Transactions      int   `json:"transactions"`
+	Height            int   `json:"height"`
+	MaxK              int   `json:"max_k"`
+	DBScans           int64 `json:"db_scans"`
+	CandidatesCounted int64 `json:"candidates_counted"`
+	SubsetPruned      int64 `json:"subset_pruned"`
+	FrequentItemsets  int64 `json:"frequent_itemsets"`
+	PositiveItemsets  int64 `json:"positive_itemsets"`
+	NegativeItemsets  int64 `json:"negative_itemsets"`
+	AliveItemsets     int64 `json:"alive_itemsets"`
+	TPGBreaks         int64 `json:"tpg_breaks"`
+	SIBPExcludedItems int64 `json:"sibp_excluded_items"`
+	BitmapBuilds      int64 `json:"bitmap_builds"`
+	BitmapWordOps     int64 `json:"bitmap_word_ops"`
+	TrieNodes         int64 `json:"trie_nodes"`
+	ProbesPruned      int64 `json:"probes_pruned"`
+	Shards            int   `json:"shards"`
+	ShardMergeNs      int64 `json:"shard_merge_ns"`
+	PeakCandidates    int64 `json:"peak_candidates"`
+	PeakBytes         int64 `json:"peak_bytes"`
+	// Degraded is omitted when false so single-process envelopes — and every
+	// golden fixture recorded before distributed mining existed — keep their
+	// exact bytes.
+	Degraded  bool   `json:"degraded,omitempty"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+	Elapsed   string `json:"elapsed"`
 }
 
 // ResultJSON is the wire form of a full mining result: the envelope the
@@ -189,6 +193,7 @@ func (s *Stats) JSON() StatsJSON {
 		ShardMergeNs:      s.ShardMergeNs,
 		PeakCandidates:    s.PeakCandidates,
 		PeakBytes:         s.PeakBytes,
+		Degraded:          s.Degraded,
 		ElapsedNS:         int64(s.Elapsed),
 		Elapsed:           s.Elapsed.Round(time.Microsecond).String(),
 	}

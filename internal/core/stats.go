@@ -71,6 +71,13 @@ type Stats struct {
 	PeakCandidates int64
 	PeakBytes      int64
 
+	// Degraded marks a distributed run that fell back to local counting for
+	// at least one shard because no worker could serve it (internal/cluster's
+	// degraded mode). The patterns are still exact — local counting computes
+	// the same partial sums a worker would have — but operators watching for
+	// capacity loss need the flag. Always false for single-process runs.
+	Degraded bool
+
 	Elapsed time.Duration
 	Cells   []CellStat
 

@@ -1,0 +1,148 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// HTTPPlan schedules an HTTPTransport. As with Plan, triggers are
+// probabilistic with expected period N, drawn from a rand.Rand seeded with
+// Seed; the same seed over the same single-goroutine request sequence
+// replays the same fault schedule. Concurrent requests interleave draws and
+// trade exact replayability for coverage — which is what the chaos suite
+// wants: a different but bounded fault mix per run, byte-identical mining
+// output regardless.
+type HTTPPlan struct {
+	Seed int64
+	// DropEveryN drops ~1/N requests: the request never reaches the
+	// handler and the client sees a transport error (connection-reset
+	// analogue). 0 disables.
+	DropEveryN int
+	// Error5xxEveryN short-circuits ~1/N requests with a synthetic 503
+	// (overload-burst analogue). 0 disables.
+	Error5xxEveryN int
+	// TruncateEveryN serves ~1/N responses with the body cut off mid-JSON
+	// (partial-body analogue); the client sees a decode error. 0 disables.
+	TruncateEveryN int
+	// StallEveryN delays ~1/N requests by Delay before forwarding
+	// (straggler analogue — the trigger the hedging path exists for).
+	// 0 disables.
+	StallEveryN int
+	Delay       time.Duration
+	// MaxFaults caps injected drops, 5xxs and truncations combined (stalls
+	// are delays, not faults, and don't count); 0 means unlimited. With a
+	// finite cap, bounded-retry dispatch is guaranteed to eventually get
+	// clean responses — the invariant the equivalence suite leans on.
+	MaxFaults int
+}
+
+// HTTPTransport is an http.RoundTripper injecting the plan's faults in
+// front of a base transport. Fault state is shared across every request
+// through the transport, mirroring Injector. Safe for concurrent use.
+type HTTPTransport struct {
+	Base http.RoundTripper
+
+	mu       sync.Mutex
+	plan     HTTPPlan
+	rng      *rand.Rand
+	requests int
+	faults   int
+}
+
+// NewHTTPTransport wraps base (nil = http.DefaultTransport) with the
+// plan's fault schedule.
+func NewHTTPTransport(base http.RoundTripper, plan HTTPPlan) *HTTPTransport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &HTTPTransport{Base: base, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Stats reports how many requests the transport has seen and how many
+// faults it has injected.
+func (t *HTTPTransport) Stats() (requests, faults int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.requests, t.faults
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *HTTPTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	t.requests++
+	n := t.requests
+	plan := t.plan
+	budget := plan.MaxFaults == 0 || t.faults < plan.MaxFaults
+	drop := budget && plan.DropEveryN > 0 && t.rng.Intn(plan.DropEveryN) == 0
+	if drop {
+		t.faults++
+	}
+	var err5xx, truncate bool
+	if !drop {
+		budget = plan.MaxFaults == 0 || t.faults < plan.MaxFaults
+		err5xx = budget && plan.Error5xxEveryN > 0 && t.rng.Intn(plan.Error5xxEveryN) == 0
+		if err5xx {
+			t.faults++
+		}
+	}
+	if !drop && !err5xx {
+		budget = plan.MaxFaults == 0 || t.faults < plan.MaxFaults
+		truncate = budget && plan.TruncateEveryN > 0 && t.rng.Intn(plan.TruncateEveryN) == 0
+		if truncate {
+			t.faults++
+		}
+	}
+	stall := plan.StallEveryN > 0 && t.rng.Intn(plan.StallEveryN) == 0
+	t.mu.Unlock()
+
+	if stall && plan.Delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(plan.Delay):
+		}
+	}
+	if drop {
+		// Drop before forwarding: the handler never runs, like a connection
+		// that dies in flight on the way in.
+		return nil, &TransientError{Read: n}
+	}
+	if err5xx {
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"application/json"}},
+			Body:    io.NopCloser(bytes.NewReader([]byte(`{"error":"injected 503 burst"}`))),
+			Request: req,
+		}, nil
+	}
+	resp, err := t.Base.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	if truncate {
+		body, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if readErr != nil {
+			return nil, readErr
+		}
+		cut := len(body) / 2
+		resp.Body = io.NopCloser(io.MultiReader(
+			bytes.NewReader(body[:cut]),
+			&errReader{err: fmt.Errorf("faultinject: injected truncated body on request %d", n)},
+		))
+		resp.ContentLength = -1
+	}
+	return resp, err
+}
+
+// errReader fails the first Read — the tail of a truncated response body.
+type errReader struct{ err error }
+
+func (r *errReader) Read([]byte) (int, error) { return 0, r.err }

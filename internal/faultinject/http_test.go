@@ -1,0 +1,150 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func doGet(t *testing.T, client *http.Client, url string) (*http.Response, []byte, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp, body, err
+}
+
+func okServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		rw.Write([]byte(`{"status":"ok","payload":"0123456789abcdef"}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestHTTPTransportDeterministicSchedule pins replayability: the same seed
+// over the same sequential request sequence injects the same faults.
+func TestHTTPTransportDeterministicSchedule(t *testing.T) {
+	srv := okServer(t)
+	plan := HTTPPlan{Seed: 42, DropEveryN: 3, Error5xxEveryN: 4}
+	run := func() []string {
+		tr := NewHTTPTransport(nil, plan)
+		client := &http.Client{Transport: tr}
+		var out []string
+		for i := 0; i < 40; i++ {
+			resp, _, err := doGet(t, client, srv.URL)
+			switch {
+			case err != nil:
+				out = append(out, "drop")
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				out = append(out, "503")
+			default:
+				out = append(out, "ok")
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: schedules diverge (%s vs %s)", i, a[i], b[i])
+		}
+	}
+	seen := map[string]bool{}
+	for _, s := range a {
+		seen[s] = true
+	}
+	for _, want := range []string{"drop", "503", "ok"} {
+		if !seen[want] {
+			t.Fatalf("40 requests at 1/3 drop + 1/4 503 never produced %q: %v", want, a)
+		}
+	}
+}
+
+// TestHTTPTransportDropIsTransient pins the error type dispatch retry logic
+// classifies on.
+func TestHTTPTransportDropIsTransient(t *testing.T) {
+	srv := okServer(t)
+	tr := NewHTTPTransport(nil, HTTPPlan{Seed: 1, DropEveryN: 1, MaxFaults: 1})
+	client := &http.Client{Transport: tr}
+	_, _, err := doGet(t, client, srv.URL)
+	if err == nil {
+		t.Fatal("guaranteed drop did not error")
+	}
+	var te *TransientError
+	if !errors.As(err, &te) {
+		t.Fatalf("drop error %T (%v), want *TransientError", err, err)
+	}
+}
+
+// TestHTTPTransportTruncate verifies a truncated response fails mid-body:
+// the status is fine, the read is not — the shape a JSON decoder turns into
+// an unexpected-EOF dispatch failure.
+func TestHTTPTransportTruncate(t *testing.T) {
+	srv := okServer(t)
+	tr := NewHTTPTransport(nil, HTTPPlan{Seed: 1, TruncateEveryN: 1, MaxFaults: 1})
+	client := &http.Client{Transport: tr}
+	resp, body, err := doGet(t, client, srv.URL)
+	if err == nil {
+		t.Fatalf("truncated body read succeeded: %q", body)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("truncation changed status to %d", resp.StatusCode)
+	}
+	if len(body) == 0 {
+		t.Fatal("truncation served no prefix at all")
+	}
+}
+
+// TestHTTPTransportMaxFaults pins the budget invariant bounded-retry
+// dispatch leans on: after MaxFaults injected faults, every request is
+// served cleanly.
+func TestHTTPTransportMaxFaults(t *testing.T) {
+	srv := okServer(t)
+	tr := NewHTTPTransport(nil, HTTPPlan{Seed: 7, DropEveryN: 1, Error5xxEveryN: 1, MaxFaults: 5})
+	client := &http.Client{Transport: tr}
+	faulted := 0
+	for i := 0; i < 30; i++ {
+		resp, _, err := doGet(t, client, srv.URL)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			faulted++
+		}
+	}
+	if faulted != 5 {
+		t.Fatalf("%d faulted responses, want exactly MaxFaults=5", faulted)
+	}
+	if _, faults := tr.Stats(); faults != 5 {
+		t.Fatalf("Stats reports %d faults, want 5", faults)
+	}
+	if requests, _ := tr.Stats(); requests != 30 {
+		t.Fatalf("Stats reports %d requests, want 30", requests)
+	}
+}
+
+// TestHTTPTransportStall verifies stalls delay but do not fail, and do not
+// consume the fault budget.
+func TestHTTPTransportStall(t *testing.T) {
+	srv := okServer(t)
+	delay := 30 * time.Millisecond
+	tr := NewHTTPTransport(nil, HTTPPlan{Seed: 3, StallEveryN: 1, Delay: delay, MaxFaults: 1})
+	client := &http.Client{Transport: tr}
+	start := time.Now()
+	resp, _, err := doGet(t, client, srv.URL)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("stalled request failed: %v / %v", err, resp)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("stall took %v, want ≥ %v", elapsed, delay)
+	}
+	if _, faults := tr.Stats(); faults != 0 {
+		t.Fatalf("stalls consumed %d of the fault budget", faults)
+	}
+}

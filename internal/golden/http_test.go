@@ -196,6 +196,7 @@ func TestHTTPConformance(t *testing.T) {
 		{"jobs_list", "/v1/jobs"},
 		{"datasets", "/v1/datasets"},
 		{"healthz", "/v1/healthz"},
+		{"readyz", "/v1/readyz"},
 		{"stats", "/v1/stats"},
 	} {
 		t.Run(ep.name, func(t *testing.T) {

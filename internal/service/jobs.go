@@ -118,6 +118,26 @@ type sweepResult struct {
 	Points []core.EpsilonPoint `json:"points"`
 }
 
+// DistributedMiner is the queue's hook into a mining cluster, satisfied by
+// cluster.Coordinator. The service stays decoupled from the cluster wiring:
+// flipperd injects a coordinator through Options.Coordinator, and the queue
+// routes a mine job through it only when Eligible says workers actually
+// serve the dataset — a coordinator with no workers is just a single-node
+// flipperd, not a degraded cluster.
+type DistributedMiner interface {
+	// Eligible reports whether at least one live worker serves the dataset.
+	Eligible(dataset string) bool
+	// Mine runs one distributed job; the result is byte-identical to a
+	// local core.Mine (the cluster contract).
+	Mine(ctx context.Context, dataset string, cfg core.Config) (*core.Result, error)
+	// Reachable counts non-dead workers (the readiness signal).
+	Reachable() int
+}
+
+// latWindow is how many recent job wall times feed the queue's adaptive
+// Retry-After hint.
+const latWindow = 64
+
 // Queue runs jobs on a bounded worker pool with a single-flight guarantee:
 // while a job for some (dataset, kind, config) key is queued or running,
 // identical submissions return that same job instead of enqueueing another
@@ -135,6 +155,16 @@ type Queue struct {
 	nextID   uint64
 	workers  int
 	history  int // max completed jobs retained; older ones are pruned
+
+	// coord, when set, mines eligible jobs over the cluster instead of the
+	// local engine (set by NewServer from Options.Coordinator).
+	coord DistributedMiner
+
+	// latSamples is a ring of recent job wall times (queued→finished runs
+	// that actually executed), the sample RetryAfterHint's median is
+	// computed over. Guarded by mu.
+	latSamples [latWindow]time.Duration
+	latCount   int
 
 	minesRun  atomic.Int64
 	sweepsRun atomic.Int64
@@ -347,14 +377,23 @@ func (q *Queue) run(j *Job) {
 	defer q.mu.Unlock()
 	j.Finished = time.Now()
 	j.cancel = nil
+	// Every executed run occupied a worker for its wall time, whatever its
+	// outcome — exactly the signal the queue-full Retry-After hint needs.
+	q.latSamples[q.latCount%latWindow] = j.Finished.Sub(j.Started)
+	q.latCount++
 	switch {
 	case err == nil:
 		j.Status = StatusDone
 		j.Result = payload
 		j.Stats = stats
 		// Only clean completions are cached: a cancelled or failed run has
-		// no payload worth replaying to later submissions.
-		q.cache.Put(j.key, CachedResult{Payload: payload, Patterns: patterns})
+		// no payload worth replaying to later submissions. Degraded
+		// distributed runs are correct but also skip the cache — once the
+		// cluster heals, a resubmission should re-mine at full capacity
+		// rather than replay the envelope that advertises degradation.
+		if stats == nil || !stats.Degraded {
+			q.cache.Put(j.key, CachedResult{Payload: payload, Patterns: patterns})
+		}
 	case errors.Is(err, context.DeadlineExceeded):
 		j.Status = StatusCancelled
 		j.Err = fmt.Sprintf("job timeout (%s) exceeded", j.Timeout)
@@ -382,7 +421,14 @@ func (q *Queue) execute(ctx context.Context, j *Job) (payload []byte, stats *cor
 	case JobMine:
 		q.minesRun.Add(1)
 		var res *core.Result
-		res, err = j.ds.Engine().MineContext(ctx, j.Config)
+		if q.coord != nil && q.coord.Eligible(j.Dataset) {
+			// Workers serve this dataset: scatter the counting over the
+			// cluster. The result is byte-identical to a local mine, so
+			// caching and golden envelopes are unaffected by the routing.
+			res, err = q.coord.Mine(ctx, j.Dataset, j.Config)
+		} else {
+			res, err = j.ds.Engine().MineContext(ctx, j.Config)
+		}
 		if err == nil {
 			rj := res.JSON(j.ds.Tree)
 			stats = &rj.Stats
@@ -506,6 +552,35 @@ func (q *Queue) viewLocked(j *Job) JobView {
 		}
 	}
 	return v
+}
+
+// RetryAfterHint is the queue-full backoff hint, in whole seconds as a
+// Retry-After header value: the median of recent job wall times, rounded
+// up and clamped to [1s, 30s]. A server mining minute-long jobs tells
+// load-shed clients to come back in 30s, not hot-loop at 1s; a fresh
+// server with no history answers the conservative "1".
+func (q *Queue) RetryAfterHint() string {
+	q.mu.Lock()
+	n := q.latCount
+	if n > latWindow {
+		n = latWindow
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, q.latSamples[:n])
+	q.mu.Unlock()
+	if n == 0 {
+		return "1"
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	med := buf[n/2]
+	secs := int64((med + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // QueueStats is the wire form of the queue counters.

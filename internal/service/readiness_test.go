@@ -1,0 +1,328 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/flipper-mining/flipper/internal/core"
+	"github.com/flipper-mining/flipper/internal/datasets"
+	"github.com/flipper-mining/flipper/internal/dict"
+	"github.com/flipper-mining/flipper/internal/itemset"
+	"github.com/flipper-mining/flipper/internal/txdb"
+)
+
+// signalGate is a gatedSource that additionally reports when a scan has
+// actually started — the deterministic "worker is now occupied" signal the
+// saturation tests need before filling the queue behind it.
+type signalGate struct {
+	src     txdb.Source
+	entered chan struct{}
+	gate    chan struct{}
+	rel     atomic.Bool
+}
+
+func newSignalGate(src txdb.Source) *signalGate {
+	return &signalGate{src: src, entered: make(chan struct{}, 1), gate: make(chan struct{})}
+}
+
+func (g *signalGate) release() {
+	if g.rel.CompareAndSwap(false, true) {
+		close(g.gate)
+	}
+}
+
+func (g *signalGate) waitEntered(t *testing.T) {
+	t.Helper()
+	select {
+	case <-g.entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("gated job never started scanning")
+	}
+}
+
+func (g *signalGate) Scan(fn func(tx itemset.Set) error) error {
+	select {
+	case g.entered <- struct{}{}:
+	default:
+	}
+	<-g.gate
+	return g.src.Scan(fn)
+}
+func (g *signalGate) Len() int               { return g.src.Len() }
+func (g *signalGate) Dict() *dict.Dictionary { return g.src.Dict() }
+
+// newHTTPServer wraps a built Server in an httptest listener.
+func newHTTPServer(t *testing.T, srv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// fakeCoordinator satisfies DistributedMiner without a cluster: it mines
+// through the dataset's own engine, so routing through it is observable
+// (calls counted) but result-identical.
+type fakeCoordinator struct {
+	reg       *Registry
+	eligible  atomic.Bool
+	reachable atomic.Int64
+	mines     atomic.Int64
+	degrade   atomic.Bool
+}
+
+func (f *fakeCoordinator) Eligible(dataset string) bool { return f.eligible.Load() }
+func (f *fakeCoordinator) Reachable() int               { return int(f.reachable.Load()) }
+func (f *fakeCoordinator) Mine(ctx context.Context, dataset string, cfg core.Config) (*core.Result, error) {
+	f.mines.Add(1)
+	d, _ := f.reg.Get(dataset)
+	res, err := d.Engine().MineContext(ctx, cfg)
+	if err == nil && f.degrade.Load() {
+		res.Stats.Degraded = true
+	}
+	return res, err
+}
+
+func getReadyz(t *testing.T, url string) (int, readyBody) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body readyBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestReadyzLifecycle pins the liveness/readiness split: healthz stays 200
+// through a drain while readyz flips to 503, and a fresh server reports
+// ready with its queue capacity.
+func TestReadyzLifecycle(t *testing.T) {
+	srv, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 7})
+	code, body := getReadyz(t, ts.URL)
+	if code != http.StatusOK || body.Status != "ready" {
+		t.Fatalf("fresh server readyz: %d %q, want 200 ready", code, body.Status)
+	}
+	if body.Queue.Capacity != 7 || body.Queue.Saturated {
+		t.Fatalf("fresh queue block: %+v", body.Queue)
+	}
+	if body.Cluster != nil {
+		t.Fatalf("cluster block present without a coordinator: %+v", body.Cluster)
+	}
+
+	srv.BeginDrain()
+	code, body = getReadyz(t, ts.URL)
+	if code != http.StatusServiceUnavailable || body.Status != "draining" {
+		t.Fatalf("draining readyz: %d %q, want 503 draining", code, body.Status)
+	}
+	// Liveness is unaffected: the process is healthy, just not taking work.
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestReadyzSaturation drives the queue to capacity behind a gated job and
+// checks readyz reports saturated 503, recovering once the queue drains.
+func TestReadyzSaturation(t *testing.T) {
+	toy := datasets.PaperToy()
+	reg := NewRegistry()
+	gs := newSignalGate(toy.DB)
+	if err := reg.Add(&Dataset{Name: "toy", Tree: toy.Tree, Src: gs}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg, Options{Workers: 1, QueueDepth: 1})
+	defer srv.Close()
+	ts := newHTTPServer(t, srv)
+
+	if _, v := submit(t, ts, `{"dataset": "toy", "config": `+toyPatch+`}`); v.ID == "" {
+		t.Fatal("gate job not accepted")
+	}
+	gs.waitEntered(t)
+	// Fill the single queue slot with a distinct config.
+	if status, _ := submit(t, ts, `{"dataset": "toy", "config": {"gamma": 0.6, "epsilon": 0.3, "min_sup": [0.1, 0.1, 0.1]}}`); status != http.StatusAccepted {
+		t.Fatalf("filler job status %d", status)
+	}
+	code, body := getReadyz(t, ts.URL)
+	if code != http.StatusServiceUnavailable || body.Status != "saturated" {
+		t.Fatalf("saturated readyz: %d %q, want 503 saturated", code, body.Status)
+	}
+	if !body.Queue.Saturated || body.Queue.Depth != body.Queue.Capacity {
+		t.Fatalf("saturated queue block: %+v", body.Queue)
+	}
+	gs.release()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body = getReadyz(t, ts.URL)
+		if code == http.StatusOK && body.Status == "ready" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz never recovered: %d %+v", code, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReadyzClusterBlock pins the coordinator-backed readiness field.
+func TestReadyzClusterBlock(t *testing.T) {
+	toy := datasets.PaperToy()
+	reg := NewRegistry()
+	if err := reg.AddMemory("toy", toy.DB, toy.Tree); err != nil {
+		t.Fatal(err)
+	}
+	fc := &fakeCoordinator{reg: reg}
+	fc.reachable.Store(3)
+	srv := NewServer(reg, Options{Workers: 1, Coordinator: fc})
+	defer srv.Close()
+	ts := newHTTPServer(t, srv)
+
+	code, body := getReadyz(t, ts.URL)
+	if code != http.StatusOK {
+		t.Fatalf("readyz: %d", code)
+	}
+	if body.Cluster == nil || body.Cluster.WorkersReachable != 3 {
+		t.Fatalf("cluster block %+v, want workers_reachable 3", body.Cluster)
+	}
+}
+
+// TestDistributedRouting pins the queue's coordinator routing: jobs go
+// through the DistributedMiner only when it reports the dataset eligible,
+// and degraded results are never cached.
+func TestDistributedRouting(t *testing.T) {
+	toy := datasets.PaperToy()
+	reg := NewRegistry()
+	if err := reg.AddMemory("toy", toy.DB, toy.Tree); err != nil {
+		t.Fatal(err)
+	}
+	fc := &fakeCoordinator{reg: reg}
+	srv := NewServer(reg, Options{Workers: 1, Coordinator: fc})
+	defer srv.Close()
+	ts := newHTTPServer(t, srv)
+
+	// Not eligible: the job mines locally.
+	_, v := submit(t, ts, `{"dataset": "toy", "config": `+toyPatch+`}`)
+	v = pollDone(t, ts, v.ID)
+	if v.Status != StatusDone {
+		t.Fatalf("local job: %s (%s)", v.Status, v.Error)
+	}
+	if fc.mines.Load() != 0 {
+		t.Fatal("ineligible dataset routed to the coordinator")
+	}
+
+	// Eligible: a different config routes through the coordinator.
+	fc.eligible.Store(true)
+	_, v = submit(t, ts, `{"dataset": "toy", "config": {"gamma": 0.6, "epsilon": 0.3, "min_sup": [0.1, 0.1, 0.1]}}`)
+	v = pollDone(t, ts, v.ID)
+	if v.Status != StatusDone {
+		t.Fatalf("distributed job: %s (%s)", v.Status, v.Error)
+	}
+	if fc.mines.Load() != 1 {
+		t.Fatalf("coordinator mined %d jobs, want 1", fc.mines.Load())
+	}
+
+	// Degraded runs complete fine but skip the cache: the resubmission is a
+	// fresh mine (mines counter advances), not a cache hit.
+	fc.degrade.Store(true)
+	_, v = submit(t, ts, `{"dataset": "toy", "config": {"gamma": 0.6, "epsilon": 0.2, "min_sup": [0.1, 0.1, 0.1]}}`)
+	v = pollDone(t, ts, v.ID)
+	if v.Status != StatusDone {
+		t.Fatalf("degraded job: %s (%s)", v.Status, v.Error)
+	}
+	if !strings.Contains(string(v.Result), `"degraded": true`) {
+		t.Fatalf("degraded run's envelope lacks the degraded flag: %s", v.Result)
+	}
+	_, v2 := submit(t, ts, `{"dataset": "toy", "config": {"gamma": 0.6, "epsilon": 0.2, "min_sup": [0.1, 0.1, 0.1]}}`)
+	v2 = pollDone(t, ts, v2.ID)
+	if v2.CacheHit {
+		t.Fatal("degraded result was served from the cache")
+	}
+	if fc.mines.Load() != 3 {
+		t.Fatalf("coordinator mined %d jobs, want 3 (degraded results must re-mine)", fc.mines.Load())
+	}
+}
+
+// TestRetryAfterHint pins the adaptive backoff hint math directly.
+func TestRetryAfterHint(t *testing.T) {
+	q := NewQueue(1, 1, 10, NewCache(4))
+	defer q.Close()
+	if got := q.RetryAfterHint(); got != "1" {
+		t.Fatalf("fresh queue hint %q, want \"1\"", got)
+	}
+	seed := func(durs ...time.Duration) {
+		q.mu.Lock()
+		q.latCount = 0
+		for _, d := range durs {
+			q.latSamples[q.latCount%latWindow] = d
+			q.latCount++
+		}
+		q.mu.Unlock()
+	}
+	seed(100*time.Millisecond, 200*time.Millisecond, 300*time.Millisecond)
+	if got := q.RetryAfterHint(); got != "1" {
+		t.Fatalf("sub-second median hint %q, want clamp to \"1\"", got)
+	}
+	seed(time.Second, 4500*time.Millisecond, 90*time.Second)
+	if got := q.RetryAfterHint(); got != "5" {
+		t.Fatalf("4.5s median hint %q, want ceil to \"5\"", got)
+	}
+	seed(time.Minute, 2*time.Minute, 3*time.Minute)
+	if got := q.RetryAfterHint(); got != "30" {
+		t.Fatalf("multi-minute median hint %q, want clamp to \"30\"", got)
+	}
+}
+
+// TestRetryAfterHeaderScales pins the wire behavior: a saturated queue's
+// 503 carries the median-scaled hint, not a hard-coded constant.
+func TestRetryAfterHeaderScales(t *testing.T) {
+	toy := datasets.PaperToy()
+	reg := NewRegistry()
+	gs := newSignalGate(toy.DB)
+	if err := reg.Add(&Dataset{Name: "toy", Tree: toy.Tree, Src: gs}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg, Options{Workers: 1, QueueDepth: 1})
+	defer srv.Close()
+	defer gs.release()
+	ts := newHTTPServer(t, srv)
+
+	// Seed the latency window as if this server had been mining ~7s jobs.
+	srv.queue.mu.Lock()
+	for i := 0; i < 9; i++ {
+		srv.queue.latSamples[i] = 7 * time.Second
+	}
+	srv.queue.latCount = 9
+	srv.queue.mu.Unlock()
+
+	if _, v := submit(t, ts, `{"dataset": "toy", "config": `+toyPatch+`}`); v.ID == "" {
+		t.Fatal("gate job not accepted")
+	}
+	gs.waitEntered(t)
+	if status, _ := submit(t, ts, `{"dataset": "toy", "config": {"gamma": 0.6, "epsilon": 0.3, "min_sup": [0.1, 0.1, 0.1]}}`); status != http.StatusAccepted {
+		t.Fatalf("filler job status %d", status)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"dataset": "toy", "config": {"gamma": 0.6, "epsilon": 0.2, "min_sup": [0.1, 0.1, 0.1]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expected 503, got %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After %q, want \"7\" (median of seeded 7s jobs)", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"github.com/flipper-mining/flipper/internal/core"
@@ -32,6 +33,11 @@ type Options struct {
 	// timeout_ms requests (default 15m); ≤ 0 keeps the default. Deadlines
 	// above the cap are clamped, not rejected.
 	MaxJobTimeout time.Duration
+	// Coordinator, when set, routes mine jobs over a worker cluster
+	// whenever it has live workers for the dataset (see
+	// Queue.DistributedMiner), and surfaces reachable-worker counts in
+	// /v1/readyz. Nil runs every job locally.
+	Coordinator DistributedMiner
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +71,11 @@ type Server struct {
 	mux   *http.ServeMux
 	opts  Options
 	start time.Time
+
+	// draining flips once at shutdown (BeginDrain): /v1/readyz turns 503 so
+	// load balancers stop routing new work here while in-flight jobs finish
+	// under the queue's graceful Close.
+	draining atomic.Bool
 }
 
 // NewServer assembles a server over reg.
@@ -77,6 +88,7 @@ func NewServer(reg *Registry, opts Options) *Server {
 		start: time.Now(),
 	}
 	s.queue = NewQueue(opts.Workers, opts.QueueDepth, opts.JobHistory, s.cache)
+	s.queue.coord = opts.Coordinator
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
@@ -84,9 +96,16 @@ func NewServer(reg *Registry, opts Options) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
 }
+
+// BeginDrain marks the server not-ready: /v1/readyz starts answering 503 so
+// load balancers drain traffic away, while /v1/healthz stays 200 (the
+// process is alive and finishing its queue) and every other endpoint keeps
+// serving. Call it at SIGTERM, before the HTTP listener shuts down.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -263,8 +282,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.queue.SubmitTimeout(d, req.Kind, cfg, req.Epsilons, timeout)
 	if errors.Is(err, ErrQueueFull) {
 		// The queue is load-shedding; tell well-behaved clients when to
-		// come back instead of letting them hot-loop on 503s.
-		w.Header().Set("Retry-After", "1")
+		// come back instead of letting them hot-loop on 503s. The hint
+		// scales with the observed median job latency — a server grinding
+		// minute-long mines frees slots far slower than a toy one.
+		w.Header().Set("Retry-After", s.queue.RetryAfterHint())
 		writeError(w, http.StatusServiceUnavailable, "%v: retry after a short backoff, or raise -queue-depth", err)
 		return
 	}
@@ -319,12 +340,64 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.reg.List()})
 }
 
+// handleHealthz is pure liveness: 200 whenever the process can serve HTTP,
+// including while draining. Restart-deciders probe this; traffic-deciders
+// probe /v1/readyz. The envelope is pinned by the golden conformance
+// fixtures — readiness data lives in readyz, not here.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
 		"uptime":  time.Since(s.start).Round(time.Millisecond).String(),
 		"version": "v1",
 	})
+}
+
+// readyBody is the GET /v1/readyz payload.
+type readyBody struct {
+	// Status is "ready", "draining" (shutdown in progress) or "saturated"
+	// (the bounded queue has no room — submissions would 503).
+	Status string `json:"status"`
+	Queue  struct {
+		Depth     int  `json:"depth"`
+		Capacity  int  `json:"capacity"`
+		Saturated bool `json:"saturated"`
+	} `json:"queue"`
+	// Cluster appears only when flipperd runs with a coordinator: the
+	// number of non-dead workers currently schedulable. Zero reachable
+	// workers does not fail readiness — the coordinator mines locally in
+	// degraded mode — but operators alert on it.
+	Cluster *readyCluster `json:"cluster,omitempty"`
+}
+
+type readyCluster struct {
+	WorkersReachable int `json:"workers_reachable"`
+}
+
+// handleReadyz is the traffic-readiness probe: 200 only when the server is
+// neither draining nor saturated. Load balancers and orchestrators route on
+// this; a 503 here sheds new work while /v1/healthz keeps the process from
+// being restarted mid-drain.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	qs := s.queue.Stats()
+	var body readyBody
+	body.Queue.Depth = qs.Depth
+	body.Queue.Capacity = qs.Capacity
+	body.Queue.Saturated = qs.Depth >= qs.Capacity
+	if s.opts.Coordinator != nil {
+		body.Cluster = &readyCluster{WorkersReachable: s.opts.Coordinator.Reachable()}
+	}
+	status := http.StatusOK
+	switch {
+	case s.draining.Load():
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case body.Queue.Saturated:
+		body.Status = "saturated"
+		status = http.StatusServiceUnavailable
+	default:
+		body.Status = "ready"
+	}
+	writeJSON(w, status, body)
 }
 
 // statsBody is the GET /v1/stats payload.

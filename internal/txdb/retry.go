@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"sync"
 	"time"
 )
 
@@ -40,11 +42,38 @@ func IsTransient(err error) bool {
 }
 
 // RetryPolicy bounds transient-read recovery: up to Attempts consecutive
-// retries per fault, sleeping Backoff before the first and doubling it for
-// each retry after. Attempts == 0 disables recovery entirely.
+// retries per fault. Backoff caps the sleep before each retry; the actual
+// sleep is full jitter — uniform in [0, cap] with the cap doubling per
+// retry — so a burst of readers hitting the same stalled disk spreads its
+// re-reads instead of re-arriving in lockstep. Attempts == 0 disables
+// recovery entirely; Backoff == 0 keeps every sleep at zero.
 type RetryPolicy struct {
 	Attempts int
 	Backoff  time.Duration
+	// Rand draws the jitter: given n it returns a value in [0, n). Nil uses
+	// a package-level seeded source; tests inject their own for exact
+	// schedules.
+	Rand func(n int64) int64
+}
+
+// jitterMu guards the default jitter source. A fixed seed keeps fault-
+// injection runs replayable — jitter needs spread, not secrecy.
+var (
+	jitterMu  sync.Mutex
+	jitterRng = rand.New(rand.NewSource(1))
+)
+
+// jitter draws one full-jitter sleep: uniform in [0, capDur].
+func (p RetryPolicy) jitter(capDur time.Duration) time.Duration {
+	if capDur <= 0 {
+		return 0
+	}
+	if p.Rand != nil {
+		return time.Duration(p.Rand(int64(capDur) + 1))
+	}
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return time.Duration(jitterRng.Int63n(int64(capDur) + 1))
 }
 
 // DefaultRetry is the policy out-of-core sources open with: a handful of
@@ -108,7 +137,7 @@ func (r *retryReader) reopen() error {
 			return err
 		}
 		r.retries++
-		sleep(backoff)
+		sleep(r.policy.jitter(backoff))
 		backoff *= 2
 	}
 }
@@ -137,7 +166,7 @@ func (r *retryReader) Read(p []byte) (int, error) {
 			// the next Read so no byte waits on a backoff sleep.
 			return n, nil
 		}
-		sleep(backoff)
+		sleep(r.policy.jitter(backoff))
 		backoff *= 2
 	}
 }

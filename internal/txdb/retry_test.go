@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/flipper-mining/flipper/internal/itemset"
 )
@@ -138,6 +139,63 @@ func TestRetryReaderExhaustion(t *testing.T) {
 type readerFunc func(p []byte) (int, error)
 
 func (f readerFunc) Read(p []byte) (int, error) { return f(p) }
+
+// TestRetryFullJitter pins the backoff scheme: each retry draws uniform in
+// [0, cap] with the cap doubling from Backoff, through the injectable rand.
+func TestRetryFullJitter(t *testing.T) {
+	path := writeTemp(t, "some data")
+	var draws []int64
+	policy := RetryPolicy{
+		Attempts: 3,
+		Backoff:  4 * time.Millisecond,
+		Rand: func(n int64) int64 {
+			draws = append(draws, n)
+			return 0 // draw zero so the test never actually sleeps
+		},
+	}
+	r, err := openRetryReader(path, policy,
+		func(raw io.Reader) io.Reader {
+			return readerFunc(func(p []byte) (int, error) { return 0, &transientErr{} })
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := io.ReadAll(r); !IsTransient(err) {
+		t.Fatalf("err = %v, want exhausted transient error", err)
+	}
+	// Three retries: caps 4ms, 8ms, 16ms; jitter draws over [0, cap] are
+	// Int63n(cap+1).
+	want := []int64{
+		int64(4*time.Millisecond) + 1,
+		int64(8*time.Millisecond) + 1,
+		int64(16*time.Millisecond) + 1,
+	}
+	if len(draws) != len(want) {
+		t.Fatalf("%d jitter draws (%v), want %d", len(draws), draws, len(want))
+	}
+	for i := range want {
+		if draws[i] != want[i] {
+			t.Fatalf("draw %d over %d, want %d (cap must double from Backoff)", i, draws[i], want[i])
+		}
+	}
+
+	// Zero backoff must stay exactly zero: no draw, no sleep.
+	draws = nil
+	policy.Backoff = 0
+	r2, err := openRetryReader(path, policy,
+		func(raw io.Reader) io.Reader {
+			return readerFunc(func(p []byte) (int, error) { return 0, &transientErr{} })
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	io.ReadAll(r2)
+	if len(draws) != 0 {
+		t.Fatalf("zero-backoff policy drew jitter: %v", draws)
+	}
+}
 
 // TestFileSourceScanUnderFaults streams a basket file through a faulty
 // reader and checks every transaction arrives exactly once, in order.
