@@ -1,4 +1,4 @@
-// Command bench_gate is the CI perf wall. It has two modes:
+// Command bench_gate is the CI perf wall. It has three modes:
 //
 // Regression diff (the perf gate proper):
 //
@@ -23,6 +23,15 @@
 // that never ran is a hard failure — a renamed or deleted benchmark must
 // be renamed or deleted in the budget too, otherwise the guard it carried
 // silently evaporates.
+//
+// Coverage floors (see cover.go):
+//
+//	go run ./ci -cover cover.out -require internal/sketch=85 \
+//	    [-summary "$GITHUB_STEP_SUMMARY"]
+//
+// aggregates a `go test -coverprofile` file per package, writes the table
+// to the job summary, and fails when a required package misses its floor
+// or is absent from the profile.
 package main
 
 import (
@@ -61,16 +70,20 @@ func main() {
 		summary    = flag.String("summary", os.Getenv("GITHUB_STEP_SUMMARY"), "markdown summary file to append the diff table to (default $GITHUB_STEP_SUMMARY)")
 		budget     = flag.String("budget", "", "alloc budget file (budget mode)")
 		bench      = flag.String("bench", "", "`go test -bench -benchmem` output to check against -budget")
+		cover      = flag.String("cover", "", "`go test -coverprofile` file to aggregate per package (coverage mode)")
+		require    = flag.String("require", "", "comma-separated pkg=pct coverage floors enforced in coverage mode")
 	)
 	flag.Parse()
 	var err error
 	switch {
+	case *cover != "":
+		err = runCover(*cover, *require, *summary, os.Stdout)
 	case *budget != "":
 		err = runBudget(*budget, *bench, os.Stdout)
 	case *baseline != "":
 		err = runDiff(*baseline, *current, *maxRegress, *summary, os.Stdout)
 	default:
-		err = fmt.Errorf("need either -baseline/-current (diff mode) or -budget/-bench (budget mode)")
+		err = fmt.Errorf("need -baseline/-current (diff mode), -budget/-bench (budget mode) or -cover (coverage mode)")
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench_gate: %v\n", err)

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: set
+github.com/flipper-mining/flipper/internal/sketch/sketch.go:10.2,12.3 3 1
+github.com/flipper-mining/flipper/internal/sketch/sketch.go:14.2,20.3 5 1
+github.com/flipper-mining/flipper/internal/sketch/sketch.go:22.2,30.3 2 0
+github.com/flipper-mining/flipper/internal/core/engine.go:5.2,9.3 4 1
+github.com/flipper-mining/flipper/internal/core/engine.go:11.2,15.3 4 0
+`
+
+func writeProfile(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "cover.out")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCoverAggregation(t *testing.T) {
+	pkgs, err := parseCoverProfile(writeProfile(t, sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, ok := pkgs["github.com/flipper-mining/flipper/internal/sketch"]
+	if !ok {
+		t.Fatalf("sketch package missing: %v", pkgs)
+	}
+	if sk.total != 10 || sk.covered != 8 {
+		t.Errorf("sketch = %d/%d statements, want 8/10", sk.covered, sk.total)
+	}
+	core, ok := pkgs["github.com/flipper-mining/flipper/internal/core"]
+	if !ok || core.total != 8 || core.covered != 4 {
+		t.Errorf("core = %+v, want 4/8", core)
+	}
+}
+
+// Repeated blocks (multi-package profiles re-list shared files per test
+// binary) must merge, not double-count.
+func TestCoverMergesDuplicateBlocks(t *testing.T) {
+	dup := sampleProfile +
+		"github.com/flipper-mining/flipper/internal/sketch/sketch.go:22.2,30.3 2 1\n"
+	pkgs, err := parseCoverProfile(writeProfile(t, dup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := pkgs["github.com/flipper-mining/flipper/internal/sketch"]
+	if sk.total != 10 || sk.covered != 10 {
+		t.Errorf("sketch = %d/%d statements, want 10/10 after merging the re-run block", sk.covered, sk.total)
+	}
+}
+
+func TestCoverFloorEnforced(t *testing.T) {
+	profile := writeProfile(t, sampleProfile)
+	summary := filepath.Join(t.TempDir(), "summary.md")
+	var sb strings.Builder
+
+	// sketch sits at 80%: an 85% floor must fail, a 75% floor must pass.
+	if err := runCover(profile, "internal/sketch=85", summary, &sb); err == nil {
+		t.Error("85% floor on an 80% package passed")
+	} else if !strings.Contains(err.Error(), "internal/sketch") {
+		t.Errorf("failure does not name the package: %v", err)
+	}
+	if err := runCover(profile, "internal/sketch=75,internal/core=50", "", &sb); err != nil {
+		t.Errorf("passing floors failed: %v", err)
+	}
+	// A required package absent from the profile is a hard failure.
+	if err := runCover(profile, "internal/missing=10", "", &sb); err == nil {
+		t.Error("floor on an unprofiled package passed")
+	}
+
+	raw, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "internal/sketch") || !strings.Contains(string(raw), "80.0%") {
+		t.Errorf("summary markdown missing coverage row:\n%s", raw)
+	}
+}
+
+func TestCoverBadInputs(t *testing.T) {
+	if _, err := parseCoverProfile(writeProfile(t, "mode: set\n")); err == nil {
+		t.Error("empty profile accepted")
+	}
+	if _, err := parseCoverProfile(writeProfile(t, "not a profile line\n")); err == nil {
+		t.Error("malformed profile accepted")
+	}
+	if _, err := parseRequire("internal/sketch"); err == nil {
+		t.Error("floor without = accepted")
+	}
+	if _, err := parseRequire("internal/sketch=abc"); err == nil {
+		t.Error("non-numeric floor accepted")
+	}
+}

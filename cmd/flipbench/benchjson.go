@@ -107,6 +107,9 @@ func runBenchJSON(path, tag string) error {
 				"bitmap_word_ops":    float64(res.Stats.BitmapWordOps),
 				"shards":             float64(res.Stats.Shards),
 				"shard_merge_ns":     float64(res.Stats.ShardMergeNs),
+				"sketch_probes":      float64(res.Stats.SketchProbes),
+				"sketch_pruned":      float64(res.Stats.SketchPruned),
+				"exact_fallbacks":    float64(res.Stats.ExactFallbacks),
 				"patterns":           float64(len(res.Patterns)),
 			},
 		})
@@ -139,6 +142,34 @@ func runBenchJSON(path, tag string) error {
 		cfg.Shards = 4
 		name := fmt.Sprintf("CountingDense/%s/shards=%d/warm", s.String(), 4)
 		if err := record(name, cfg, core.NewEngine(db, tree)); err != nil {
+			return err
+		}
+	}
+	// Anchored top-K on the same workload: the sketch-pruned query path, cold
+	// and warm (a warm engine reuses the cached signatures, which is the
+	// steady state a resident flipperd serves /v1/topk in). Guaranteed mode
+	// carries unsaturated sketches (k=8192 ≥ 8000 transactions, bounds are
+	// exact); best_effort shrinks them 16× so pruning runs on estimates.
+	anchoredCfg := func(mode string, sketchK int) core.Config {
+		cfg := cfgFor(core.CountScan)
+		cfg.Anchor = "leaf00.0"
+		cfg.AnchorTopK = 5
+		cfg.AnchorMode = mode
+		cfg.SketchK = sketchK
+		return cfg
+	}
+	for _, m := range []struct {
+		name    string
+		mode    string
+		sketchK int
+	}{
+		{"guaranteed", core.AnchorGuaranteed, 8192},
+		{"best_effort", core.AnchorBestEffort, 512},
+	} {
+		if err := record("AnchoredTopK/"+m.name, anchoredCfg(m.mode, m.sketchK), nil); err != nil {
+			return err
+		}
+		if err := record("AnchoredTopK/"+m.name+"/warm", anchoredCfg(m.mode, m.sketchK), core.NewEngine(db, tree)); err != nil {
 			return err
 		}
 	}

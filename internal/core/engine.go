@@ -10,6 +10,7 @@ import (
 	"github.com/flipper-mining/flipper/internal/bitmap"
 	"github.com/flipper-mining/flipper/internal/candtrie"
 	"github.com/flipper-mining/flipper/internal/itemset"
+	"github.com/flipper-mining/flipper/internal/sketch"
 	"github.com/flipper-mining/flipper/internal/taxonomy"
 	"github.com/flipper-mining/flipper/internal/txdb"
 )
@@ -44,9 +45,27 @@ type Engine struct {
 	src  txdb.Source
 	tree *taxonomy.Tree
 
-	mu      sync.Mutex
-	data    map[dataKey]*dataState
-	scratch []*runScratch // LIFO so the warmest arenas are reused first
+	mu         sync.Mutex
+	data       map[dataKey]*dataState
+	scratch    []*runScratch // LIFO so the warmest arenas are reused first
+	sketchPath string        // optional on-disk sketch cache (SetSketchPath)
+}
+
+// SetSketchPath points the engine at an on-disk cache for the anchored-search
+// item sketches. When set, an anchored run first tries to load the file
+// (validated by signature size and a dataset fingerprint, so a stale or
+// foreign file is rebuilt, never trusted) and saves freshly built sketches
+// back, best-effort, for the next engine over the same dataset.
+func (e *Engine) SetSketchPath(path string) {
+	e.mu.Lock()
+	e.sketchPath = path
+	e.mu.Unlock()
+}
+
+func (e *Engine) sketchFile() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sketchPath
 }
 
 // NewEngine returns an engine over the source and taxonomy. The source and
@@ -89,6 +108,7 @@ type dataState struct {
 	bitmaps  []*bitmap.Index
 	shardTID [][]map[itemset.ID][]int32
 	shardBM  [][]*bitmap.Index
+	sketches map[int]*sketch.Set // anchored-search sketches by signature size
 }
 
 func (ds *dataState) sharded() bool { return len(ds.shards) > 1 }
@@ -571,9 +591,15 @@ func (e *Engine) mineContext(ctx context.Context, cfg Config, remote CellCounter
 	defer m.release()
 
 	var patterns []Pattern
-	if cfg.Pruning == Basic {
+	switch {
+	case cfg.Anchor != "":
+		patterns, err = m.mineAnchored()
+		if err != nil {
+			return nil, err
+		}
+	case cfg.Pruning == Basic:
 		patterns = m.mineBasic()
-	} else {
+	default:
 		patterns = m.mineFlipper()
 	}
 	if err := ctx.Err(); err != nil {
@@ -584,12 +610,15 @@ func (e *Engine) mineContext(ctx context.Context, cfg Config, remote CellCounter
 	if m.scanErr != nil {
 		return nil, fmt.Errorf("core: streaming counting pass failed: %w", m.scanErr)
 	}
-	if cfg.TopK > 0 {
+	switch {
+	case cfg.Anchor != "":
+		// mineAnchored already ranked by gap and truncated to AnchorTopK.
+	case cfg.TopK > 0:
 		sortPatternsByGap(patterns)
 		if len(patterns) > cfg.TopK {
 			patterns = patterns[:cfg.TopK]
 		}
-	} else {
+	default:
 		sortPatterns(patterns)
 	}
 	m.stats.Elapsed = time.Since(start)

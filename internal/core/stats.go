@@ -71,6 +71,15 @@ type Stats struct {
 	PeakCandidates int64
 	PeakBytes      int64
 
+	// Anchored-search counters (zero outside anchored runs). SketchProbes is
+	// how many candidates were bracketed by the per-item sketches,
+	// SketchPruned how many of those the bounds eliminated without an exact
+	// count, and ExactFallbacks how many survived to exact tid-list counting
+	// — the work the sketches failed to save.
+	SketchProbes   int64
+	SketchPruned   int64
+	ExactFallbacks int64
+
 	// Degraded marks a distributed run that fell back to local counting for
 	// at least one shard because no worker could serve it (internal/cluster's
 	// degraded mode). The patterns are still exact — local counting computes
@@ -131,6 +140,10 @@ func (s *Stats) String() string {
 	}
 	if s.Shards > 1 {
 		fmt.Fprintf(&b, ", %d shards (merge %v)", s.Shards, time.Duration(s.ShardMergeNs).Round(time.Microsecond))
+	}
+	if s.SketchProbes > 0 {
+		fmt.Fprintf(&b, ", %d sketch probes (%d pruned, %d exact fallbacks)",
+			s.SketchProbes, s.SketchPruned, s.ExactFallbacks)
 	}
 	fmt.Fprintf(&b, ", %v", s.Elapsed.Round(time.Millisecond))
 	return b.String()

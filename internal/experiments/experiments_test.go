@@ -19,7 +19,7 @@ func tiny() Scale {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "table3", "fig8a", "fig8b", "fig8c", "fig8d", "fig9a", "fig9b", "table4", "fig10-12", "ablation", "counting", "sharding"}
+	want := []string{"table1", "table3", "fig8a", "fig8b", "fig8c", "fig8d", "fig9a", "fig9b", "table4", "fig10-12", "ablation", "counting", "sharding", "topk"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestTopKShape is the issue's flipbench acceptance: on the dense planted
+// workload the guaranteed anchored rows must recover the exact top-K
+// (recall 1.000) while resolving at least half their support probes from
+// sketches alone, and the best-effort rows must report a recall in [0, 1].
+func TestTopKShape(t *testing.T) {
+	tbl, err := TopK(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 exact row + 2 anchors × 2 anchored modes.
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("topk rows = %d, want 5", len(tbl.Rows))
+	}
+	if tbl.Rows[0][1] != "exact" || tbl.Rows[0][8] != "1.000" {
+		t.Fatalf("exact row malformed: %v", tbl.Rows[0])
+	}
+	exactCands, err := strconv.Atoi(tbl.Rows[0][4])
+	if err != nil || exactCands == 0 {
+		t.Fatalf("exact candidates cell %q", tbl.Rows[0][4])
+	}
+	for _, row := range tbl.Rows[1:] {
+		probes, err := strconv.Atoi(row[5])
+		if err != nil || probes == 0 {
+			t.Fatalf("%s/%s: probes cell %q", row[0], row[1], row[5])
+		}
+		skip, err := strconv.ParseFloat(row[7], 64)
+		if err != nil {
+			t.Fatalf("%s/%s: skip cell %q", row[0], row[1], row[7])
+		}
+		recall, err := strconv.ParseFloat(row[8], 64)
+		if err != nil || recall < 0 || recall > 1 {
+			t.Fatalf("%s/%s: recall cell %q", row[0], row[1], row[8])
+		}
+		cands, err := strconv.Atoi(row[4])
+		if err != nil {
+			t.Fatalf("%s/%s: candidates cell %q", row[0], row[1], row[4])
+		}
+		if cands >= exactCands {
+			t.Errorf("%s/%s: anchored run counted %d candidates, exact full mine counted %d — anchoring saved nothing",
+				row[0], row[1], cands, exactCands)
+		}
+		if row[1] == "guaranteed" {
+			if recall != 1 {
+				t.Errorf("%s: guaranteed recall = %s, want 1.000 (the exactness theorem)", row[0], row[8])
+			}
+			if skip < 0.5 {
+				t.Errorf("%s: guaranteed skip ratio = %s, want >= 0.5 — sketches resolved too few probes", row[0], row[7])
+			}
+		}
+	}
+}

@@ -39,6 +39,11 @@ type Dataset struct {
 	Src txdb.Source
 	// Stream records whether Src re-reads disk on every scan.
 	Stream bool
+	// SketchPath, when non-empty, is where the dataset's anchored-search
+	// item sketches persist (next to the dataset files for disk-loaded
+	// registries), so a restarted flipperd warm-starts /v1/topk without
+	// rebuilding signatures.
+	SketchPath string
 
 	engOnce sync.Once
 	eng     *core.Engine
@@ -50,7 +55,12 @@ type Dataset struct {
 // the next — repeat mines over a registered dataset pay data preparation
 // once, not per request. The engine is safe for concurrent jobs.
 func (d *Dataset) Engine() *core.Engine {
-	d.engOnce.Do(func() { d.eng = core.NewEngine(d.Src, d.Tree) })
+	d.engOnce.Do(func() {
+		d.eng = core.NewEngine(d.Src, d.Tree)
+		if d.SketchPath != "" {
+			d.eng.SetSketchPath(d.SketchPath)
+		}
+	})
 	return d.eng
 }
 
@@ -193,7 +203,12 @@ func loadDataset(name, taxPath, dbPath string, shardPaths []string, stream bool)
 	if !tree.IsBalanced() {
 		tree = tree.Extend()
 	}
-	d := &Dataset{Name: name, Tree: tree, Stream: stream}
+	d := &Dataset{
+		Name:       name,
+		Tree:       tree,
+		Stream:     stream,
+		SketchPath: filepath.Join(filepath.Dir(taxPath), "sketches.bin"),
+	}
 	switch {
 	case len(shardPaths) > 0:
 		ss, err := txdb.OpenShards(shardPaths, tree.Dict(), stream)

@@ -94,6 +94,8 @@ func NewServer(reg *Registry, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
@@ -138,6 +140,10 @@ type ConfigPatch struct {
 	Materialize   *bool               `json:"materialize"`
 	KeepCellStats *bool               `json:"keep_cell_stats"`
 	TopK          *int                `json:"top_k"`
+	Anchor        *string             `json:"anchor"`
+	AnchorTopK    *int                `json:"anchor_top_k"`
+	AnchorMode    *string             `json:"anchor_mode"`
+	SketchK       *int                `json:"sketch_k"`
 }
 
 // Apply overlays the patch on cfg.
@@ -181,6 +187,18 @@ func (p *ConfigPatch) Apply(cfg core.Config) core.Config {
 	}
 	if p.TopK != nil {
 		cfg.TopK = *p.TopK
+	}
+	if p.Anchor != nil {
+		cfg.Anchor = *p.Anchor
+	}
+	if p.AnchorTopK != nil {
+		cfg.AnchorTopK = *p.AnchorTopK
+	}
+	if p.AnchorMode != nil {
+		cfg.AnchorMode = *p.AnchorMode
+	}
+	if p.SketchK != nil {
+		cfg.SketchK = *p.SketchK
 	}
 	return cfg
 }
